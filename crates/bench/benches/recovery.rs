@@ -1,0 +1,61 @@
+//! Wall-clock cost of one recovery pass (the *implementation*, not the
+//! simulated latency — those are Tables II/III).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nlh_bench::small_machine;
+use nlh_core::{Microreboot, Microreset, RecoveryMechanism};
+use nlh_hv::{CpuId, Hypervisor, MachineConfig};
+use nlh_sim::SimDuration;
+
+fn faulted(seed: u64) -> Hypervisor {
+    let mut hv = small_machine(seed);
+    hv.run_for(SimDuration::from_millis(60));
+    hv.raise_panic(CpuId(1), "bench fault");
+    hv
+}
+
+fn bench_microreset(c: &mut Criterion) {
+    c.bench_function("recover/microreset_small", |b| {
+        b.iter_batched(
+            || faulted(1),
+            |mut hv| Microreset::nilihype().recover(&mut hv).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_microreboot(c: &mut Criterion) {
+    c.bench_function("recover/microreboot_small", |b| {
+        b.iter_batched(
+            || faulted(2),
+            |mut hv| Microreboot::rehype().recover(&mut hv).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_microreset_paper_machine(c: &mut Criterion) {
+    // The 8 GiB configuration scans 2M page-frame descriptors.
+    let mut group = c.benchmark_group("recover/paper_machine");
+    group.sample_size(10);
+    group.bench_function("microreset_8gib", |b| {
+        b.iter_batched(
+            || {
+                let mut hv = Hypervisor::new(MachineConfig::paper(), 3);
+                hv.raise_panic(CpuId(0), "bench fault");
+                hv
+            },
+            |mut hv| Microreset::nilihype().recover(&mut hv).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_microreset,
+    bench_microreboot,
+    bench_microreset_paper_machine
+);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Campaign execution: many trials, in parallel, with aggregate statistics.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use nlh_core::RecoveryMechanism;
+use nlh_inject::FaultType;
+use nlh_sim::stats::Proportion;
+use serde::{Deserialize, Serialize};
+
+use crate::classify::TrialClass;
+use crate::trial::{run_trial, TrialConfig};
+use crate::setup::SetupKind;
+
+/// Aggregated results of a fault-injection campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Fault type injected.
+    pub fault: FaultType,
+    /// Number of trials run.
+    pub trials: u64,
+    /// Trials with no observable effect.
+    pub non_manifested: u64,
+    /// Trials with silent data corruption.
+    pub sdc: u64,
+    /// Trials in which a detector fired (= recovery attempts).
+    pub detected: u64,
+    /// Detected trials classified as successful recovery.
+    pub successes: u64,
+    /// Detected trials with no AppVM failures at all.
+    pub no_vmf: u64,
+    /// Histogram of recovery-failure reasons.
+    pub failure_reasons: BTreeMap<String, u64>,
+}
+
+impl CampaignResult {
+    /// Successful-recovery rate over detected faults (the paper's headline
+    /// metric), with confidence-interval accessors.
+    pub fn success_rate(&self) -> Proportion {
+        Proportion::new(self.successes, self.detected)
+    }
+
+    /// Rate of detected faults with no VM failures (`noVMF` in Figure 2).
+    pub fn no_vmf_rate(&self) -> Proportion {
+        Proportion::new(self.no_vmf, self.detected)
+    }
+
+    /// Breakdown over all injections: (non-manifested, SDC, detected)
+    /// fractions, as reported in Section VII-A.
+    pub fn manifestation_breakdown(&self) -> (f64, f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.trials as f64;
+        (
+            self.non_manifested as f64 / n,
+            self.sdc as f64 / n,
+            self.detected as f64 / n,
+        )
+    }
+}
+
+/// Runs `trials` fault-injection trials in parallel and aggregates.
+///
+/// `base_seed` makes the whole campaign reproducible; trial `i` uses seed
+/// `base_seed + i`. The mechanism factory is invoked once per worker
+/// thread.
+pub fn run_campaign<M, F>(
+    setup: SetupKind,
+    fault: FaultType,
+    trials: u64,
+    base_seed: u64,
+    make_mechanism: F,
+) -> CampaignResult
+where
+    M: RecoveryMechanism,
+    F: Fn() -> M + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(trials.max(1) as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let agg = Mutex::new(CampaignAgg::default());
+    let name = Mutex::new(String::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mech = make_mechanism();
+                {
+                    let mut n = name.lock().unwrap();
+                    if n.is_empty() {
+                        *n = mech.name().to_string();
+                    }
+                }
+                let mut local = CampaignAgg::default();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let cfg = TrialConfig::new(setup, fault, base_seed + i);
+                    let result = run_trial(&cfg, &mech);
+                    local.add(&result.class);
+                }
+                agg.lock().unwrap().merge(local);
+            });
+        }
+    });
+
+    let agg = agg.into_inner().unwrap();
+    CampaignResult {
+        mechanism: name.into_inner().unwrap(),
+        fault,
+        trials,
+        non_manifested: agg.non_manifested,
+        sdc: agg.sdc,
+        detected: agg.detected,
+        successes: agg.successes,
+        no_vmf: agg.no_vmf,
+        failure_reasons: agg.failure_reasons,
+    }
+}
+
+#[derive(Default)]
+struct CampaignAgg {
+    non_manifested: u64,
+    sdc: u64,
+    detected: u64,
+    successes: u64,
+    no_vmf: u64,
+    failure_reasons: BTreeMap<String, u64>,
+}
+
+impl CampaignAgg {
+    fn add(&mut self, class: &TrialClass) {
+        match class {
+            TrialClass::NonManifested => self.non_manifested += 1,
+            TrialClass::Sdc => self.sdc += 1,
+            TrialClass::RecoverySuccess { no_vm_failures } => {
+                self.detected += 1;
+                self.successes += 1;
+                if *no_vm_failures {
+                    self.no_vmf += 1;
+                }
+            }
+            TrialClass::RecoveryFailure(reason) => {
+                self.detected += 1;
+                // Bucket by a shortened reason to keep the histogram small.
+                let key = reason.chars().take(60).collect::<String>();
+                *self.failure_reasons.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: CampaignAgg) {
+        self.non_manifested += other.non_manifested;
+        self.sdc += other.sdc;
+        self.detected += other.detected;
+        self.successes += other.successes;
+        self.no_vmf += other.no_vmf;
+        for (k, v) in other.failure_reasons {
+            *self.failure_reasons.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::BenchKind;
+    use nlh_core::Microreset;
+
+    #[test]
+    fn small_failstop_campaign_aggregates() {
+        let r = run_campaign(
+            SetupKind::OneAppVm(BenchKind::UnixBench),
+            FaultType::Failstop,
+            24,
+            7,
+            Microreset::nilihype,
+        );
+        assert_eq!(r.trials, 24);
+        assert_eq!(r.detected, 24, "failstop always detected");
+        assert_eq!(r.non_manifested + r.sdc, 0);
+        assert!(r.success_rate().value() > 0.5);
+        assert_eq!(r.mechanism, "NiLiHype");
+        let (nm, sdc, det) = r.manifestation_breakdown();
+        assert_eq!((nm, sdc, det), (0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let run = || {
+            run_campaign(
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Register,
+                16,
+                99,
+                Microreset::nilihype,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.non_manifested, b.non_manifested);
+        assert_eq!(a.sdc, b.sdc);
+    }
+}

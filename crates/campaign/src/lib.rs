@@ -1,0 +1,30 @@
+//! Fault-injection campaigns (Section VI): trial orchestration, outcome
+//! classification, and recovery-rate statistics.
+//!
+//! A **trial** boots the target system, starts the benchmarks, injects one
+//! fault, performs recovery when a detector fires, and classifies the
+//! outcome (Section VI-C). A **campaign** runs many trials (in parallel
+//! across OS threads — the analogue of the paper's Campaign Agent) and
+//! aggregates recovery rates with 95% confidence intervals.
+//!
+//! The two system configurations of Section VI-A are provided: the 1AppVM
+//! setup used for measurement-driven development (Table I, Section IV) and
+//! the 3AppVM setup used for the headline recovery-rate results (Figure 2),
+//! including the post-recovery creation of a third, BlkBench-running AppVM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod classify;
+mod ladder;
+mod overhead;
+mod setup;
+mod trial;
+
+pub use campaign::{run_campaign, CampaignResult};
+pub use classify::{classify, TrialClass};
+pub use ladder::{run_ladder, LadderRow};
+pub use overhead::{measure_hv_cycles, overhead_percent, OverheadPoint};
+pub use setup::{build_system, BenchKind, SetupKind, SystemLayout};
+pub use trial::{run_trial, TrialConfig, TrialResult};

@@ -1,0 +1,257 @@
+//! Target-system configurations (Section VI-A).
+
+use nlh_hv::domain::{DomainKind, DomainSpec, GuestProgram};
+use nlh_hv::{CpuId, DomId, Hypervisor, MachineConfig};
+use nlh_sim::{SimDuration, SimTime};
+use nlh_workloads::{BlkBench, NetBench, PrivVmDriver, UnixBench};
+use serde::{Deserialize, Serialize};
+
+/// The synthetic benchmarks (Section VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchKind {
+    /// Block-device stress.
+    BlkBench,
+    /// Hypercall/VM-management stress.
+    UnixBench,
+    /// UDP ping responder (also the latency probe).
+    NetBench,
+}
+
+impl std::fmt::Display for BenchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchKind::BlkBench => write!(f, "BlkBench"),
+            BenchKind::UnixBench => write!(f, "UnixBench"),
+            BenchKind::NetBench => write!(f, "NetBench"),
+        }
+    }
+}
+
+/// The evaluated system configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetupKind {
+    /// PrivVM + one AppVM running the given benchmark for ~10 s. Used for
+    /// the measurement-driven ladders; "success" means **no** VM affected.
+    OneAppVm(BenchKind),
+    /// PrivVM + UnixBench AppVM + NetBench AppVM (~24 s); a third,
+    /// BlkBench-running AppVM is created after recovery. "Success" means
+    /// at most one AppVM affected and the hypervisor still operates
+    /// correctly (the new VM can be created and runs to completion).
+    ThreeAppVm,
+    /// PrivVM + two AppVMs (UnixBench and NetBench) whose vCPUs share one
+    /// physical CPU — the paper's future-work configuration ("multiple
+    /// vCPUs per CPU"). "Success" means no VM affected, as in the 1AppVM
+    /// setup.
+    TwoAppVmSharedCpu,
+}
+
+impl SetupKind {
+    /// Benchmark run length for this setup.
+    pub fn bench_duration(self) -> SimDuration {
+        match self {
+            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => SimDuration::from_secs(10),
+            SetupKind::ThreeAppVm => SimDuration::from_secs(24),
+        }
+    }
+
+    /// Total simulated trial length (benchmarks + recovery + slack).
+    pub fn trial_duration(self) -> SimDuration {
+        match self {
+            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => SimDuration::from_secs(13),
+            SetupKind::ThreeAppVm => SimDuration::from_secs(27),
+        }
+    }
+
+    /// The first-level fault-trigger window (Section VI-C): 1AppVM injects
+    /// between 10% and 90% of the benchmark run; 3AppVM between 500 ms and
+    /// 6 s.
+    pub fn trigger_window(self) -> (SimTime, SimTime) {
+        match self {
+            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => {
+                (SimTime::from_secs(1), SimTime::from_secs(9))
+            }
+            SetupKind::ThreeAppVm => (SimTime::from_millis(500), SimTime::from_secs(6)),
+        }
+    }
+}
+
+/// Where everything ended up in a built system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemLayout {
+    /// The configuration that was built.
+    pub setup: SetupKind,
+    /// The initial AppVMs, paired with their benchmark kind.
+    pub initial_apps: Vec<(DomId, BenchKind)>,
+    /// The benchmark the post-recovery AppVM will run, if scheduled.
+    pub post_recovery_app: Option<BenchKind>,
+    /// When the PrivVM issues the post-recovery `domctl` create.
+    pub create_at: Option<SimTime>,
+}
+
+/// Pages allocated to each AppVM.
+const APP_PAGES: usize = 192;
+/// Pages allocated to the PrivVM.
+const PRIV_PAGES: usize = 256;
+
+fn make_bench(kind: BenchKind, seed: u64, dur: SimDuration, tls: f64) -> Box<dyn GuestProgram> {
+    match kind {
+        BenchKind::BlkBench => Box::new(BlkBench::new(seed, dur, tls)),
+        BenchKind::UnixBench => Box::new(UnixBench::new(seed, dur, tls)),
+        BenchKind::NetBench => Box::new(NetBench::new(seed, dur, tls)),
+    }
+}
+
+/// Builds the target system for a trial.
+///
+/// The hypervisor is booted, the PrivVM (with the block driver) and the
+/// initial AppVMs are created, NetBench traffic is attached when NetBench
+/// runs, and — in the 3AppVM configuration — the post-recovery BlkBench
+/// AppVM's creation is queued and scheduled on the PrivVM.
+pub fn build_system(machine: MachineConfig, setup: SetupKind, seed: u64) -> (Hypervisor, SystemLayout) {
+    let mut hv = Hypervisor::new(machine, seed);
+    let tls = hv.tuning.tls_sensitivity;
+    let dur = setup.bench_duration();
+
+    let (create_at, post_recovery_app) = match setup {
+        SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => (None, None),
+        // "Following recovery, a third AppVM is created": scheduled after
+        // the trigger window plus worst-case detection + recovery latency.
+        SetupKind::ThreeAppVm => (Some(SimTime::from_secs(9)), Some(BenchKind::BlkBench)),
+    };
+
+    hv.add_boot_domain(DomainSpec {
+        kind: DomainKind::Priv,
+        pages: PRIV_PAGES,
+        pinned_cpu: CpuId(0),
+        program: Box::new(PrivVmDriver::new(seed ^ 0xD0, create_at)),
+    });
+
+    let mut initial_apps = Vec::new();
+    match setup {
+        SetupKind::TwoAppVmSharedCpu => {
+            // Both AppVM vCPUs pinned to CPU 1: the tick scheduler
+            // round-robins them.
+            let d1 = hv.add_boot_domain(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(1),
+                program: make_bench(BenchKind::UnixBench, seed ^ 0xA1, dur, tls),
+            });
+            initial_apps.push((d1, BenchKind::UnixBench));
+            let d2 = hv.add_boot_domain(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(1),
+                program: make_bench(BenchKind::NetBench, seed ^ 0xA2, dur, tls),
+            });
+            initial_apps.push((d2, BenchKind::NetBench));
+            hv.attach_net_traffic(d2, SimDuration::from_millis(1));
+        }
+        SetupKind::OneAppVm(kind) => {
+            let dom = hv.add_boot_domain(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(1),
+                program: make_bench(kind, seed ^ 0xA1, dur, tls),
+            });
+            initial_apps.push((dom, kind));
+            if kind == BenchKind::NetBench {
+                hv.attach_net_traffic(dom, SimDuration::from_millis(1));
+            }
+        }
+        SetupKind::ThreeAppVm => {
+            let d1 = hv.add_boot_domain(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(1),
+                program: make_bench(BenchKind::UnixBench, seed ^ 0xA1, dur, tls),
+            });
+            initial_apps.push((d1, BenchKind::UnixBench));
+            let d2 = hv.add_boot_domain(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(2),
+                program: make_bench(BenchKind::NetBench, seed ^ 0xA2, dur, tls),
+            });
+            initial_apps.push((d2, BenchKind::NetBench));
+            hv.attach_net_traffic(d2, SimDuration::from_millis(1));
+            // The post-recovery AppVM: BlkBench for ~10 s on CPU 3.
+            hv.queue_domain_creation(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(3),
+                program: make_bench(
+                    BenchKind::BlkBench,
+                    seed ^ 0xA3,
+                    SimDuration::from_secs(10),
+                    tls,
+                ),
+            });
+        }
+    }
+    // Record boot-time I/O APIC configuration (what ReHype's write log
+    // reconstructs after the reboot re-initializes the controller).
+    hv.ioapic_log = Some(hv.irqs.ioapic_snapshot());
+
+    let layout = SystemLayout {
+        setup,
+        initial_apps,
+        post_recovery_app,
+        create_at,
+    };
+    (hv, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_appvm_layout() {
+        let (hv, layout) = build_system(MachineConfig::small(), SetupKind::OneAppVm(BenchKind::UnixBench), 1);
+        assert_eq!(hv.domains.len(), 2);
+        assert_eq!(layout.initial_apps.len(), 1);
+        assert!(layout.create_at.is_none());
+        assert!(hv.net.is_none());
+    }
+
+    #[test]
+    fn three_appvm_layout() {
+        let (hv, layout) = build_system(MachineConfig::small(), SetupKind::ThreeAppVm, 1);
+        assert_eq!(hv.domains.len(), 3, "third AppVM not yet created");
+        assert_eq!(layout.initial_apps.len(), 2);
+        assert_eq!(layout.post_recovery_app, Some(BenchKind::BlkBench));
+        assert!(hv.net.is_some(), "NetBench traffic attached");
+        assert_eq!(hv.create_queue.len(), 1, "BlkBench VM queued for domctl");
+    }
+
+    #[test]
+    fn netbench_one_appvm_attaches_traffic() {
+        let (hv, _) = build_system(
+            MachineConfig::small(),
+            SetupKind::OneAppVm(BenchKind::NetBench),
+            2,
+        );
+        assert!(hv.net.is_some());
+    }
+
+    #[test]
+    fn trigger_windows_match_paper() {
+        let (lo, hi) = SetupKind::ThreeAppVm.trigger_window();
+        assert_eq!(lo, SimTime::from_millis(500));
+        assert_eq!(hi, SimTime::from_secs(6));
+        let (lo, hi) = SetupKind::OneAppVm(BenchKind::BlkBench).trigger_window();
+        // 10%..90% of a ~10 s run.
+        assert_eq!(lo, SimTime::from_secs(1));
+        assert_eq!(hi, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn fault_free_three_appvm_run_reaches_creation() {
+        let (mut hv, _) = build_system(MachineConfig::small(), SetupKind::ThreeAppVm, 3);
+        hv.run_until(SimTime::from_secs(10));
+        assert!(hv.detection().is_none(), "{:?}", hv.detection());
+        assert_eq!(hv.domains.len(), 4, "BlkBench VM created at 9 s");
+        assert!(hv.domains[3].is_active());
+    }
+}

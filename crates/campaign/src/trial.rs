@@ -1,0 +1,245 @@
+//! One fault-injection trial (Section VI-C): boot, run, inject, recover,
+//! classify.
+
+use nlh_core::{RecoveryMechanism, RecoveryReport};
+use nlh_hv::MachineConfig;
+use nlh_inject::{FaultType, InjectionOutcome, Injector};
+use nlh_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::classify::{classify, TrialClass};
+use crate::setup::{build_system, SetupKind};
+
+/// Second-level trigger budget: micro-ops executed in the hypervisor
+/// before injection (the paper uses 0–20 000 instructions; micro-ops are
+/// coarser by roughly 10×).
+pub const MAX_TRIGGER_OPS: u64 = 2_000;
+
+/// Configuration of one trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialConfig {
+    /// The system configuration.
+    pub setup: SetupKind,
+    /// The fault type to inject.
+    pub fault: FaultType,
+    /// Trial seed (drives everything deterministically).
+    pub seed: u64,
+    /// Machine parameters.
+    pub machine: MachineConfig,
+}
+
+impl TrialConfig {
+    /// A trial on the default small campaign machine.
+    pub fn new(setup: SetupKind, fault: FaultType, seed: u64) -> Self {
+        TrialConfig {
+            setup,
+            fault,
+            seed,
+            machine: MachineConfig::small(),
+        }
+    }
+}
+
+/// Raw observations collected while running a trial (input to
+/// classification).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrialObservations {
+    /// A detector fired.
+    pub detected: bool,
+    /// Recovery could not be attempted (mechanism returned an error).
+    pub recovery_error: Option<String>,
+    /// A second detection occurred after recovery.
+    pub second_detection: bool,
+    /// Reason text of the second detection.
+    pub second_detection_reason: Option<String>,
+}
+
+/// The result of one trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// How the injected fault manifested (None if the trigger never fired,
+    /// which does not happen in practice).
+    pub injection: Option<InjectionOutcome>,
+    /// Raw observations.
+    pub observations: TrialObservations,
+    /// The recovery report, if recovery ran.
+    pub recovery: Option<RecoveryReport>,
+    /// Final classification.
+    pub class: TrialClass,
+}
+
+/// Runs one complete fault-injection trial.
+pub fn run_trial(config: &TrialConfig, mechanism: &dyn RecoveryMechanism) -> TrialResult {
+    let (mut hv, layout) = build_system(config.machine.clone(), config.setup, config.seed);
+    hv.support = mechanism.op_support();
+
+    let mut injector = Injector::new(
+        config.fault,
+        config.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xF00D,
+        config.setup.trigger_window(),
+        MAX_TRIGGER_OPS,
+    );
+
+    let trial_end = nlh_sim::SimTime::ZERO + config.setup.trial_duration();
+    let deadline = trial_end.saturating_since(nlh_sim::SimTime::ZERO);
+    let deadline = nlh_sim::SimTime::ZERO + deadline.saturating_sub(SimDuration::from_millis(500));
+
+    let mut obs = TrialObservations::default();
+    let mut recovery: Option<RecoveryReport> = None;
+    let mut recovered = false;
+
+    while hv.now() < trial_end {
+        if hv.detection().is_some() {
+            if !recovered {
+                obs.detected = true;
+                recovered = true;
+                match mechanism.recover(&mut hv) {
+                    Ok(r) => recovery = Some(r),
+                    Err(e) => {
+                        obs.recovery_error = Some(e.to_string());
+                        break;
+                    }
+                }
+            } else {
+                obs.second_detection = true;
+                obs.second_detection_reason =
+                    hv.detection().map(|d| d.reason.clone());
+                break;
+            }
+        } else {
+            let (cpu, out) = hv.step_any();
+            injector.on_step(&mut hv, cpu, out);
+            // Short-circuit: a non-manifested or SDC fault can no longer
+            // trigger detection in this model; the classification is
+            // already determined, so skip simulating the rest of the run.
+            if hv.detection().is_none() {
+                match injector.outcome() {
+                    Some(InjectionOutcome::NonManifested) => {
+                        return TrialResult {
+                            injection: injector.outcome(),
+                            class: TrialClass::NonManifested,
+                            observations: obs,
+                            recovery: None,
+                        };
+                    }
+                    Some(InjectionOutcome::Sdc) => {
+                        return TrialResult {
+                            injection: injector.outcome(),
+                            class: TrialClass::Sdc,
+                            observations: obs,
+                            recovery: None,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let now = hv.now_max();
+    let class = classify(&hv, &layout, &obs, now, deadline);
+    TrialResult {
+        injection: injector.outcome(),
+        observations: obs,
+        recovery,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::BenchKind;
+    use nlh_core::{Microreset, Microreboot};
+
+    #[test]
+    fn failstop_trial_with_full_nilihype_usually_succeeds() {
+        let mech = Microreset::nilihype();
+        let mut successes = 0;
+        let n = 20;
+        for seed in 0..n {
+            let cfg = TrialConfig::new(
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Failstop,
+                seed,
+            );
+            let r = run_trial(&cfg, &mech);
+            assert!(r.observations.detected, "failstop is always detected");
+            if r.class.is_success() {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= n * 7 / 10,
+            "full NiLiHype should succeed most of the time: {successes}/{n}"
+        );
+    }
+
+    #[test]
+    fn basic_nilihype_never_succeeds() {
+        let mech = Microreset::with_enhancements(nlh_core::Enhancements::none());
+        for seed in 0..10 {
+            let cfg = TrialConfig::new(
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Failstop,
+                seed,
+            );
+            let r = run_trial(&cfg, &mech);
+            assert!(
+                !r.class.is_success(),
+                "seed {seed}: basic microreset cannot succeed, got {:?}",
+                r.class
+            );
+        }
+    }
+
+    #[test]
+    fn rehype_failstop_trial_succeeds_too() {
+        let mech = Microreboot::rehype();
+        let mut successes = 0;
+        let n = 10;
+        for seed in 100..100 + n {
+            let cfg = TrialConfig::new(
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Failstop,
+                seed,
+            );
+            if run_trial(&cfg, &mech).class.is_success() {
+                successes += 1;
+            }
+        }
+        assert!(successes >= n * 6 / 10, "{successes}/{n}");
+    }
+
+    #[test]
+    fn register_faults_mostly_non_manifested() {
+        let mech = Microreset::nilihype();
+        let mut nm = 0;
+        let n = 30;
+        for seed in 0..n {
+            let cfg = TrialConfig::new(
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Register,
+                seed,
+            );
+            if run_trial(&cfg, &mech).class == TrialClass::NonManifested {
+                nm += 1;
+            }
+        }
+        assert!(nm > n / 2, "{nm}/{n} non-manifested");
+    }
+
+    #[test]
+    fn trial_is_deterministic() {
+        let mech = Microreset::nilihype();
+        let cfg = TrialConfig::new(
+            SetupKind::OneAppVm(BenchKind::UnixBench),
+            FaultType::Failstop,
+            1234,
+        );
+        let a = run_trial(&cfg, &mech);
+        let b = run_trial(&cfg, &mech);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.injection, b.injection);
+    }
+}

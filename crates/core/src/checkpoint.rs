@@ -1,0 +1,196 @@
+//! **Checkpoint rollback** — the middle point of the design space the paper
+//! discusses in Section II-B: "it is possible to reduce part of the reboot
+//! time by replacing the reboot with a rollback to a checkpoint saved right
+//! after a previous reboot. However, even in this case, there would be
+//! significant latency for reintegrating state from the previous instance."
+//!
+//! The mechanism restores the hypervisor's *memory* state from a post-boot
+//! checkpoint (cleansing the same state subset a reboot re-initializes)
+//! and then performs ReHype's re-integration of the preserved VM state —
+//! but skips the hardware initialization. Because the hardware is *not*
+//! re-initialized, it additionally needs NiLiHype's hardware-facing
+//! enhancements (reprogram the APIC timers, acknowledge interrupts).
+
+use nlh_hv::hypercalls::OpSupport;
+use nlh_hv::Hypervisor;
+use nlh_sim::SimDuration;
+
+use crate::clr::{RecoveryError, RecoveryMechanism, RecoveryReport, RecoveryStep};
+use crate::latency::CostModel;
+use crate::shared;
+
+/// Recovery by rolling back to a post-boot checkpoint and re-integrating
+/// preserved state (Section II-B's microreboot variant).
+#[derive(Debug, Clone)]
+pub struct CheckpointRestore {
+    cost: CostModel,
+}
+
+impl CheckpointRestore {
+    /// The checkpoint-rollback mechanism with the paper-calibrated cost
+    /// model.
+    pub fn new() -> Self {
+        CheckpointRestore {
+            cost: CostModel::paper(),
+        }
+    }
+
+    /// Overrides the latency cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl Default for CheckpointRestore {
+    fn default() -> Self {
+        CheckpointRestore::new()
+    }
+}
+
+impl RecoveryMechanism for CheckpointRestore {
+    fn name(&self) -> &str {
+        "CheckpointRestore"
+    }
+
+    fn op_support(&self) -> OpSupport {
+        OpSupport {
+            undo_logging: true,
+            reorder_nonidem: true,
+            batched_completion_log: true,
+            // No reboot: the I/O APIC keeps its state, no boot line needed.
+            ioapic_write_log: false,
+            bootline_log: false,
+            save_fsgs: true,
+        }
+    }
+
+    fn recover(&self, hv: &mut Hypervisor) -> Result<RecoveryReport, RecoveryError> {
+        if hv.detection().is_none() {
+            return Err(RecoveryError::NoDetection);
+        }
+        if !hv.recovery_entry_ok {
+            return Err(RecoveryError::RecoveryRoutineCorrupted);
+        }
+        let cfg = hv.config.clone();
+        let mut steps: Vec<RecoveryStep> = Vec::new();
+        let mut push = |name: &str, d: SimDuration| {
+            steps.push(RecoveryStep {
+                name: name.to_string(),
+                duration: d,
+            })
+        };
+
+        hv.save_fsgs_all();
+        let abandon = hv.discard_all_stacks();
+        push(
+            "Halt CPUs and preserve dynamic state",
+            SimDuration::from_micros(800),
+        );
+
+        // --- Restore the post-boot checkpoint image of the hypervisor's
+        // own memory (static data, heap metadata, timer subsystem). This
+        // cleanses the same subset a reboot re-initializes, at memory-copy
+        // rather than boot cost.
+        for pc in hv.percpu.iter_mut() {
+            pc.local_irq_count = 0;
+        }
+        hv.locks.unlock_static_segment();
+        hv.boot_scratch_corrupted = false;
+        hv.heap.rebuild_freelist();
+        hv.timers.clear();
+        let timers_reactivated = shared::reactivate_timers(hv);
+        push(
+            "Restore post-boot checkpoint image",
+            self.cost.record_old_heap(&cfg) * 2, // copy in + fix-ups
+        );
+
+        // --- Re-integration, as in ReHype (Table II memory steps minus the
+        // descriptor re-initialization the checkpoint already contains).
+        let mut locks_released = shared::release_heap_locks(hv);
+        locks_released += 0;
+        let pfd_repaired = hv.pft.consistency_scan();
+        push(
+            "Restore and check consistency of page frame entries",
+            self.cost.pfd_scan(&cfg),
+        );
+        push("Re-integrate preserved heap state", self.cost.recreate_heap(&cfg));
+        shared::apply_undo(hv);
+        let requests_retried = shared::mark_retries(hv, true, true);
+        shared::fix_scheduler(hv);
+
+        // --- Hardware was NOT re-initialized: NiLiHype-style fixes.
+        shared::ack_interrupts(hv);
+        hv.reprogram_all_apics();
+        push("Reprogram hardware timers, acknowledge interrupts", SimDuration::from_micros(60));
+
+        hv.finish_fsgs(&abandon.in_hv_vcpus, true);
+
+        let total = steps
+            .iter()
+            .fold(SimDuration::ZERO, |a, s| a + s.duration);
+        hv.resume_after(total);
+
+        Ok(RecoveryReport {
+            mechanism: self.name().to_string(),
+            steps,
+            total,
+            frames_discarded: abandon.frames_discarded,
+            locks_released,
+            pfd_repaired,
+            requests_retried,
+            timers_reactivated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlh_hv::chaos::CorruptionKind;
+    use nlh_hv::invariants::check_quiescent;
+    use nlh_hv::{CpuId, MachineConfig};
+
+    #[test]
+    fn latency_sits_between_the_two_mechanisms() {
+        // Section II-B: "multiple hundreds of milliseconds" even without
+        // the boot — dominated by state re-integration.
+        let mut hv = Hypervisor::new(MachineConfig::paper(), 1);
+        hv.raise_panic(CpuId(0), "fault");
+        let ckpt = CheckpointRestore::new().recover(&mut hv).unwrap();
+        assert!(
+            ckpt.total.as_millis() > 200 && ckpt.total.as_millis() < 713,
+            "checkpoint restore: {}",
+            ckpt.total
+        );
+        let mut hv = Hypervisor::new(MachineConfig::paper(), 1);
+        hv.raise_panic(CpuId(0), "fault");
+        let ni = crate::Microreset::nilihype().recover(&mut hv).unwrap();
+        assert!(ckpt.total > ni.total * 10, "far slower than microreset");
+    }
+
+    #[test]
+    fn cleanses_boot_initialized_state_like_a_reboot() {
+        let mut hv = Hypervisor::new(MachineConfig::small(), 2);
+        hv.apply_corruption(CorruptionKind::BootScratch);
+        hv.apply_corruption(CorruptionKind::HeapFreelist);
+        hv.percpu[3].local_irq_count = 2;
+        hv.percpu[5].apic.disarm();
+        hv.raise_panic(CpuId(0), "fault");
+        CheckpointRestore::new().recover(&mut hv).unwrap();
+        assert!(!hv.boot_scratch_corrupted);
+        assert!(!hv.heap.is_freelist_corrupted());
+        let v = check_quiescent(&hv);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn machine_runs_after_checkpoint_recovery() {
+        let mut hv = Hypervisor::new(MachineConfig::small(), 3);
+        hv.run_for(SimDuration::from_millis(60));
+        hv.raise_panic(CpuId(2), "fault");
+        CheckpointRestore::new().recover(&mut hv).unwrap();
+        hv.run_for(SimDuration::from_secs(1));
+        assert!(hv.detection().is_none(), "{:?}", hv.detection());
+    }
+}

@@ -1,0 +1,155 @@
+//! The recovery-latency cost model, calibrated to Tables II and III.
+//!
+//! The paper measures per-step recovery latencies by reading the TSC after
+//! each major step on an 8-core, 8 GB machine. The constants below
+//! reproduce those measurements; memory-proportional steps (the page-frame
+//! scan, heap recreation, ...) scale with the configured machine so the
+//! §VII-B scaling discussion ("this would be a problem in a large system")
+//! can be reproduced by sweeping memory size.
+
+use nlh_hv::MachineConfig;
+use nlh_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Number of page frames on the paper's 8 GB testbed.
+const PAPER_PAGES: u64 = 2 * 1024 * 1024;
+/// Number of CPUs on the paper's testbed.
+const PAPER_CPUS: u64 = 8;
+
+/// Per-step recovery latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    // --- ReHype hardware initialization (fixed) ---
+    /// Early initialization of the boot CPU.
+    pub early_boot_cpu: SimDuration,
+    /// Initialize and wait for other CPUs to come online (per 8 CPUs).
+    pub init_other_cpus: SimDuration,
+    /// Verify/connect/setup local APIC and I/O APIC.
+    pub apic_setup: SimDuration,
+    /// Initialize and calibrate the TSC timer.
+    pub tsc_calibrate: SimDuration,
+    /// SMP initialization.
+    pub smp_init: SimDuration,
+    /// Identify valid page frames, relocate boot modules.
+    pub relocate_modules: SimDuration,
+    /// Miscellaneous other boot work.
+    pub boot_others: SimDuration,
+
+    // --- Memory-proportional steps (value at 8 GB / 2M frames) ---
+    /// Record allocated pages of the old heap (preservation).
+    pub record_old_heap_8g: SimDuration,
+    /// Restore and check consistency of page frame entries (the scan that
+    /// dominates NiLiHype's latency).
+    pub pfd_scan_8g: SimDuration,
+    /// Re-initialize descriptors of un-preserved pages.
+    pub reinit_unpreserved_8g: SimDuration,
+    /// Recreate the new heap and re-integrate preserved allocations.
+    pub recreate_heap_8g: SimDuration,
+
+    // --- NiLiHype's non-scan work ---
+    /// Everything else microreset does (quiesce, locks, retries, timers).
+    pub microreset_others: SimDuration,
+}
+
+impl CostModel {
+    /// The model calibrated to the paper's Tables II and III.
+    pub fn paper() -> Self {
+        CostModel {
+            early_boot_cpu: SimDuration::from_millis(12),
+            init_other_cpus: SimDuration::from_millis(150),
+            apic_setup: SimDuration::from_millis(200),
+            tsc_calibrate: SimDuration::from_millis(50),
+            smp_init: SimDuration::from_millis(20),
+            relocate_modules: SimDuration::from_millis(2),
+            boot_others: SimDuration::from_millis(13),
+            record_old_heap_8g: SimDuration::from_millis(21),
+            pfd_scan_8g: SimDuration::from_millis(21),
+            reinit_unpreserved_8g: SimDuration::from_millis(13),
+            recreate_heap_8g: SimDuration::from_millis(211),
+            microreset_others: SimDuration::from_millis(1),
+        }
+    }
+
+    fn scale_mem(&self, base: SimDuration, config: &MachineConfig) -> SimDuration {
+        let pages = config.num_pages() as u64;
+        SimDuration::from_nanos(base.as_nanos().saturating_mul(pages) / PAPER_PAGES)
+    }
+
+    /// The page-frame consistency scan on `config` (proportional to the
+    /// number of frames: 21 ms at 8 GB).
+    pub fn pfd_scan(&self, config: &MachineConfig) -> SimDuration {
+        self.scale_mem(self.pfd_scan_8g, config)
+    }
+
+    /// Recording the old heap's allocated pages (ReHype).
+    pub fn record_old_heap(&self, config: &MachineConfig) -> SimDuration {
+        self.scale_mem(self.record_old_heap_8g, config)
+    }
+
+    /// Re-initializing un-preserved descriptors (ReHype).
+    pub fn reinit_unpreserved(&self, config: &MachineConfig) -> SimDuration {
+        self.scale_mem(self.reinit_unpreserved_8g, config)
+    }
+
+    /// Recreating the heap (ReHype; 211 ms at 8 GB).
+    pub fn recreate_heap(&self, config: &MachineConfig) -> SimDuration {
+        self.scale_mem(self.recreate_heap_8g, config)
+    }
+
+    /// Waiting for secondary CPUs (scales with CPU count).
+    pub fn init_other_cpus(&self, config: &MachineConfig) -> SimDuration {
+        SimDuration::from_nanos(
+            self.init_other_cpus.as_nanos() * config.num_cpus as u64 / PAPER_CPUS,
+        )
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_reproduces_table_values() {
+        let m = CostModel::paper();
+        let cfg = MachineConfig::paper();
+        assert_eq!(m.pfd_scan(&cfg).as_millis(), 21);
+        assert_eq!(m.recreate_heap(&cfg).as_millis(), 211);
+        assert_eq!(m.record_old_heap(&cfg).as_millis(), 21);
+        assert_eq!(m.reinit_unpreserved(&cfg).as_millis(), 13);
+        assert_eq!(m.init_other_cpus(&cfg).as_millis(), 150);
+    }
+
+    #[test]
+    fn memory_steps_scale_linearly() {
+        let m = CostModel::paper();
+        let mut cfg = MachineConfig::paper();
+        cfg.memory_mib = 16 * 1024; // 16 GB
+        assert_eq!(m.pfd_scan(&cfg).as_millis(), 42);
+        cfg.memory_mib = 2 * 1024; // 2 GB
+        assert_eq!(m.pfd_scan(&cfg).as_millis(), 5, "21/4 truncates to 5 ms");
+    }
+
+    #[test]
+    fn table2_totals_add_up() {
+        // Hardware init: 12+150+200+50 = 412; memory: 21+21+13+211 = 266;
+        // misc: 20+2+13 = 35; total 713 (Table II).
+        let m = CostModel::paper();
+        let cfg = MachineConfig::paper();
+        let hw = m.early_boot_cpu + m.init_other_cpus(&cfg) + m.apic_setup + m.tsc_calibrate;
+        let mem = m.record_old_heap(&cfg)
+            + m.pfd_scan(&cfg)
+            + m.reinit_unpreserved(&cfg)
+            + m.recreate_heap(&cfg);
+        let misc = m.smp_init + m.relocate_modules + m.boot_others;
+        assert_eq!(hw.as_millis(), 412);
+        assert_eq!(mem.as_millis(), 266);
+        assert_eq!(misc.as_millis(), 35);
+        assert_eq!((hw + mem + misc).as_millis(), 713);
+    }
+}

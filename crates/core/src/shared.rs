@@ -1,0 +1,126 @@
+//! Recovery steps shared by NiLiHype and ReHype (Section III-B/C).
+
+use nlh_hv::hypercalls::PendingKind;
+use nlh_hv::Hypervisor;
+
+/// Releases every lock embedded in a heap object (ReHype's original
+/// mechanism, reused by NiLiHype). Returns how many were held.
+pub(crate) fn release_heap_locks(hv: &mut Hypervisor) -> usize {
+    let ids: Vec<_> = hv.heap.embedded_locks().collect();
+    hv.locks.unlock_heap_locks(ids)
+}
+
+/// Marks partially executed requests for retry. `hypercalls` / `syscalls`
+/// select which kinds are retried (the x86-64 port added syscall retry,
+/// Section IV). Returns how many were marked.
+pub(crate) fn mark_retries(hv: &mut Hypervisor, hypercalls: bool, syscalls: bool) -> usize {
+    let mut n = 0;
+    for d in &mut hv.domains {
+        if let Some(p) = d.pending.as_mut() {
+            let retry = match p.kind {
+                PendingKind::Hypercall(_) => hypercalls,
+                PendingKind::Syscall => syscalls,
+            };
+            if retry {
+                p.will_retry = true;
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Acknowledges all pending and in-service interrupts.
+pub(crate) fn ack_interrupts(hv: &mut Hypervisor) -> usize {
+    hv.irqs.ack_all()
+}
+
+/// Applies the undo log (non-idempotent-hypercall mitigation, Section IV).
+pub(crate) fn apply_undo(hv: &mut Hypervisor) -> usize {
+    hv.apply_undo_log()
+}
+
+/// Rebuilds scheduling metadata from the per-CPU source of truth and
+/// re-enqueues stranded runnable vCPUs.
+pub(crate) fn fix_scheduler(hv: &mut Hypervisor) -> usize {
+    hv.sched.make_consistent_from_percpu() + hv.sched.requeue_runnable()
+}
+
+/// Re-creates missing recurring timer events.
+pub(crate) fn reactivate_timers(hv: &mut Hypervisor) -> usize {
+    let expected = hv.expected_recurring();
+    let now = hv.now_max();
+    hv.timers.reactivate_recurring(&expected, now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlh_hv::domain::{DomainKind, DomainSpec, IdleLoop};
+    use nlh_hv::hypercalls::{HcRequest, PendingRequest};
+    use nlh_hv::{CpuId, MachineConfig};
+
+    fn hv_with_domain() -> Hypervisor {
+        let mut hv = Hypervisor::new(MachineConfig::small(), 1);
+        hv.add_boot_domain(DomainSpec {
+            kind: DomainKind::App,
+            pages: 8,
+            pinned_cpu: CpuId(1),
+            program: Box::new(IdleLoop),
+        });
+        hv
+    }
+
+    #[test]
+    fn heap_lock_release_ignores_static() {
+        let mut hv = hv_with_domain();
+        let heap_lock = hv.timer_locks[0];
+        hv.locks.acquire(heap_lock, CpuId(0));
+        hv.locks
+            .acquire(nlh_hv::locks::StaticLock::Console.id(), CpuId(1));
+        assert_eq!(release_heap_locks(&mut hv), 1);
+        assert_eq!(hv.locks.held_locks().len(), 1, "console lock still held");
+    }
+
+    #[test]
+    fn retry_marking_respects_kind_flags() {
+        let mut hv = hv_with_domain();
+        hv.domains[0].pending = Some(PendingRequest {
+            kind: PendingKind::Hypercall(HcRequest::XenVersion),
+            bindings: vec![],
+            completed_subcalls: 0,
+            will_retry: false,
+        });
+        assert_eq!(mark_retries(&mut hv, false, true), 0);
+        assert!(!hv.domains[0].pending.as_ref().unwrap().will_retry);
+        assert_eq!(mark_retries(&mut hv, true, false), 1);
+        assert!(hv.domains[0].pending.as_ref().unwrap().will_retry);
+    }
+
+    #[test]
+    fn syscall_retry_marking() {
+        let mut hv = hv_with_domain();
+        hv.domains[0].pending = Some(PendingRequest {
+            kind: PendingKind::Syscall,
+            bindings: vec![],
+            completed_subcalls: 0,
+            will_retry: false,
+        });
+        assert_eq!(mark_retries(&mut hv, true, false), 0);
+        assert_eq!(mark_retries(&mut hv, true, true), 1);
+    }
+
+    #[test]
+    fn scheduler_fix_requeues_stranded_vcpu() {
+        let mut hv = hv_with_domain();
+        // Simulate an abandoned deschedule: percpu cleared, vCPU torn.
+        hv.sched.cs_set_percpu_current(CpuId(1), None);
+        assert!(hv.sched.check_all().is_err());
+        fix_scheduler(&mut hv);
+        assert!(hv.sched.check_all().is_ok());
+        assert!(
+            hv.sched.peek_next(CpuId(1)).is_some(),
+            "the vCPU is schedulable again"
+        );
+    }
+}

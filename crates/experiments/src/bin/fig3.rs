@@ -1,0 +1,74 @@
+//! **Figure 3** — hypervisor processing overhead during normal operation
+//! (Section VII-C).
+//!
+//! For each configuration (BlkBench, UnixBench, NetBench in the 1AppVM
+//! setup, plus the synchronized 3AppVM mix), runs a fault-free measurement
+//! window under three `OpSupport` configurations and reports the percent
+//! increase in hypervisor cycles over stock:
+//!
+//! * **NiLiHype** — all recovery-support logging on;
+//! * **NiLiHype\*** — the non-idempotent-hypercall undo logging turned off
+//!   (the paper's ablation: most of the overhead is this logging).
+
+use nlh_campaign::{measure_hv_cycles, overhead_percent, BenchKind, SetupKind};
+use nlh_experiments::{hr, ExpOptions};
+use nlh_hv::hypercalls::OpSupport;
+use nlh_sim::SimDuration;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    // Paper measures ~21 s windows, repeated 5 times, <1% spread.
+    let window = if opts.full {
+        SimDuration::from_secs(21)
+    } else {
+        SimDuration::from_secs(4)
+    };
+    let repeats = 5;
+
+    let full = OpSupport::full();
+    let mut no_logging = OpSupport::full();
+    no_logging.undo_logging = false;
+    let stock = OpSupport::none();
+
+    let configs: [(&str, SetupKind); 4] = [
+        ("BlkBench", SetupKind::OneAppVm(BenchKind::BlkBench)),
+        ("UnixBench", SetupKind::OneAppVm(BenchKind::UnixBench)),
+        ("NetBench", SetupKind::OneAppVm(BenchKind::NetBench)),
+        ("3AppVM", SetupKind::ThreeAppVm),
+    ];
+
+    println!("Figure 3: hypervisor processing overhead in normal operation");
+    println!("(percent increase in hypervisor cycles vs stock; window {window}, {repeats} runs)");
+    hr();
+    println!(
+        "{:12} {:>12} {:>12} {:>14}",
+        "Config", "NiLiHype", "NiLiHype*", "hv share"
+    );
+    hr();
+    for (label, setup) in configs {
+        let mut o_full = 0.0;
+        let mut o_nolog = 0.0;
+        let mut share = 0.0;
+        for r in 0..repeats {
+            let seed = opts.seed + r;
+            let (hv_full, _) = measure_hv_cycles(setup, full, seed, window);
+            let (hv_nolog, _) = measure_hv_cycles(setup, no_logging, seed, window);
+            let (hv_stock, guest) = measure_hv_cycles(setup, stock, seed, window);
+            o_full += overhead_percent(hv_full.count(), hv_stock.count());
+            o_nolog += overhead_percent(hv_nolog.count(), hv_stock.count());
+            share += hv_stock.count() as f64 / (hv_stock.count() + guest.count()) as f64;
+        }
+        let n = repeats as f64;
+        println!(
+            "{:12} {:>11.2}% {:>11.2}% {:>13.2}%",
+            label,
+            o_full / n,
+            o_nolog / n,
+            share / n * 100.0
+        );
+    }
+    hr();
+    println!("Paper: overhead is a few percent of *hypervisor* cycles, dominated by the");
+    println!("logging (NiLiHype* is near zero); since under 5% of all cycles run in the");
+    println!("hypervisor, the total impact is below 1% even in the worst case (BlkBench).");
+}

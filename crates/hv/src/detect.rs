@@ -1,0 +1,79 @@
+//! Error detection: panics and the watchdog hang detector.
+//!
+//! The paper relies on Xen's built-in detectors (Section VI-B): a *panic*
+//! fires on fatal exceptions and failed software assertions; a *hang* is
+//! declared by a watchdog built from a per-CPU performance-counter NMI
+//! (every 100 ms of unhalted cycles) that checks a heartbeat counter
+//! incremented by a recurring 100 ms software timer event — three stalled
+//! checks in a row mean the CPU stopped making timer progress.
+//!
+//! The watchdog bookkeeping itself lives in [`crate::percpu::WatchdogState`];
+//! this module defines the detection record handed to the recovery
+//! mechanism.
+
+use nlh_sim::{CpuId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How the error was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectionKind {
+    /// Fatal exception or failed assertion.
+    Panic,
+    /// Watchdog-declared hang.
+    Hang,
+}
+
+/// A detected hypervisor error — the event that triggers recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// When the detector fired.
+    pub at: SimTime,
+    /// The CPU on which the error was detected (NiLiHype's recovery handler
+    /// runs on this CPU).
+    pub cpu: CpuId,
+    /// Panic or hang.
+    pub kind: DetectionKind,
+    /// Human-readable reason (assertion text, `BUG()` location, ...).
+    pub reason: String,
+}
+
+impl Detection {
+    /// Creates a detection record.
+    pub fn new(at: SimTime, cpu: CpuId, kind: DetectionKind, reason: impl Into<String>) -> Self {
+        Detection {
+            at,
+            cpu,
+            kind,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Detection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} on {} at {}: {}",
+            self.kind, self.cpu, self.at, self.reason
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let d = Detection::new(
+            SimTime::from_millis(1500),
+            CpuId(2),
+            DetectionKind::Panic,
+            "ASSERT(local_irq_count == 0)",
+        );
+        let s = d.to_string();
+        assert!(s.contains("Panic"));
+        assert!(s.contains("cpu2"));
+        assert!(s.contains("local_irq_count"));
+    }
+}

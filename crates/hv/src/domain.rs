@@ -1,0 +1,367 @@
+//! Domains (VMs), vCPUs, and the guest-workload interface.
+//!
+//! The platform hosts the privileged VM (PrivVM / Dom0) plus application
+//! VMs, as in the paper's 1AppVM and 3AppVM setups. Each domain has one
+//! vCPU pinned to a distinct physical CPU (Section VI-A). What a guest
+//! *does* is supplied by a [`GuestProgram`] implementation (the synthetic
+//! benchmarks live in the `nlh-workloads` crate); the hypervisor sees the
+//! guest purely as the stream of [`GuestOp`]s it emits — compute, hypercalls,
+//! syscalls and blocking — which is exactly the interface the real
+//! hypervisor has to its guests.
+
+use std::fmt;
+
+use nlh_sim::{CpuId, DomId, PageNum, Pcg64, SimTime, VcpuId};
+use serde::{Deserialize, Serialize};
+
+use crate::hypercalls::{HcRequest, PendingRequest};
+use crate::interrupts::GuestEventKind;
+
+/// What a guest does next when its vCPU runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuestOp {
+    /// Execute guest code for the given duration (no hypervisor entry).
+    Compute(nlh_sim::SimDuration),
+    /// Issue a hypercall.
+    Hypercall(HcRequest),
+    /// Issue a syscall (on x86-64 this traps into the hypervisor, which
+    /// forwards it to the guest kernel — Section IV, "Syscall retry").
+    Syscall,
+    /// Block until an event is delivered (event channel or virtual timer).
+    Block,
+    /// The benchmark has finished; the vCPU idles from now on.
+    Done,
+}
+
+/// Notifications from the platform to a guest workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestNotice {
+    /// The guest's pending hypercall completed.
+    HypercallDone {
+        /// Whether the hypervisor reported success.
+        ok: bool,
+    },
+    /// The guest's forwarded syscall was delivered back.
+    SyscallDone,
+    /// A paravirtual event arrived on the domain's event channel.
+    Event(GuestEventKind),
+    /// The guest's FS/GS were clobbered across a recovery (the "Save FS/GS"
+    /// enhancement was off). Whether this is fatal depends on whether the
+    /// workload's processes are in TLS-dependent code.
+    TlsClobbered,
+    /// A fault silently corrupted data in this guest's memory (SDC path).
+    DataCorrupted,
+}
+
+/// Why a workload failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailReason {
+    /// Output differs from the golden copy (Section VI-A).
+    OutputMismatch,
+    /// A syscall into the guest OS failed or was lost.
+    SyscallFailed,
+    /// The benchmark did not complete in time (e.g. a lost hypercall left
+    /// the vCPU blocked forever).
+    Incomplete,
+    /// The guest OS crashed.
+    GuestCrash(String),
+    /// Service degradation beyond the benchmark's threshold (NetBench's
+    /// "reception rate drops more than 10% in any one-second interval").
+    ServiceDegraded,
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::OutputMismatch => write!(f, "output differs from golden copy"),
+            FailReason::SyscallFailed => write!(f, "a syscall failed or was lost"),
+            FailReason::Incomplete => write!(f, "benchmark did not complete"),
+            FailReason::GuestCrash(why) => write!(f, "guest crashed: {why}"),
+            FailReason::ServiceDegraded => write!(f, "service degraded beyond threshold"),
+        }
+    }
+}
+
+/// The verdict of a workload at the end of a trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadVerdict {
+    /// Still running (only meaningful mid-trial).
+    Running,
+    /// Completed and produced correct output.
+    CompletedOk,
+    /// Failed.
+    Failed(FailReason),
+}
+
+impl WorkloadVerdict {
+    /// Whether the workload finished successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, WorkloadVerdict::CompletedOk)
+    }
+}
+
+/// A guest workload: the program running inside a VM.
+///
+/// Implementations are deterministic given the RNG handed to
+/// [`GuestProgram::next_op`].
+pub trait GuestProgram: fmt::Debug + Send {
+    /// Short name for reports (e.g. `"UnixBench"`).
+    fn name(&self) -> &str;
+
+    /// The guest's next action. Called when the vCPU is scheduled and has
+    /// no outstanding request.
+    fn next_op(&mut self, now: SimTime, rng: &mut Pcg64) -> GuestOp;
+
+    /// Delivers a platform notification.
+    fn notice(&mut self, now: SimTime, notice: GuestNotice);
+
+    /// The workload's verdict as of `now`. `deadline` is the time by which
+    /// the benchmark was expected to finish; a workload still incomplete
+    /// after it should report [`FailReason::Incomplete`].
+    fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict;
+}
+
+/// Domain kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainKind {
+    /// The privileged VM (Dom0): management + device-driver domain. The
+    /// PrivVM is always paravirtualized (Section III-A).
+    Priv,
+    /// A paravirtualized application VM (the paper's default; on x86-64
+    /// its syscalls trap through the hypervisor).
+    App,
+    /// A fully hardware-virtualized application VM (HVM). Its syscalls
+    /// stay inside the guest; the paper reports fault-injection results
+    /// with HVM AppVMs "very similar" to paravirtualized ones
+    /// (Section VI-A).
+    AppHvm,
+}
+
+/// Domain lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainState {
+    /// Being constructed by a `domctl` hypercall.
+    Building,
+    /// Running normally.
+    Active,
+    /// The guest OS crashed.
+    Crashed(String),
+    /// Destroyed.
+    Destroyed,
+}
+
+/// A domain (VM) and all its hypervisor-side state.
+#[derive(Debug)]
+pub struct Domain {
+    /// Domain id (0 = PrivVM).
+    pub id: DomId,
+    /// Privileged or application VM.
+    pub kind: DomainKind,
+    /// The domain's single vCPU.
+    pub vcpu: VcpuId,
+    /// Physical CPU the vCPU is pinned to.
+    pub pinned_cpu: CpuId,
+    /// Lifecycle state.
+    pub state: DomainState,
+    /// Pages owned by this domain.
+    pub owned_pages: Vec<PageNum>,
+    /// Subset of owned pages currently pinned as page-table pages.
+    pub pinned_pages: Vec<PageNum>,
+    /// The workload running inside.
+    pub program: Option<Box<dyn GuestProgram>>,
+    /// Outstanding request into the hypervisor, if any.
+    pub pending: Option<PendingRequest>,
+    /// Whether the vCPU is blocked waiting for an event.
+    pub blocked: bool,
+    /// Whether the workload reported [`GuestOp::Done`].
+    pub finished: bool,
+    /// Pages to allocate during `domctl` construction.
+    pub target_pages: usize,
+    /// The guest's live FS/GS values (clobbered by recovery when the
+    /// "Save FS/GS" enhancement is off and the vCPU was in the hypervisor).
+    pub fs_gs: (u64, u64),
+}
+
+impl Domain {
+    /// Creates a domain shell in the `Building` state.
+    pub fn new(id: DomId, kind: DomainKind, vcpu: VcpuId, pinned_cpu: CpuId) -> Self {
+        Domain {
+            id,
+            kind,
+            vcpu,
+            pinned_cpu,
+            state: DomainState::Building,
+            owned_pages: Vec::new(),
+            pinned_pages: Vec::new(),
+            program: None,
+            pending: None,
+            blocked: false,
+            finished: false,
+            target_pages: 0,
+            fs_gs: (0x7f00_0000, 0x6f00_0000),
+        }
+    }
+
+    /// Whether the domain is alive and schedulable.
+    pub fn is_active(&self) -> bool {
+        self.state == DomainState::Active
+    }
+
+    /// Marks the guest OS as crashed.
+    pub fn crash(&mut self, why: impl Into<String>) {
+        if self.state == DomainState::Active {
+            self.state = DomainState::Crashed(why.into());
+        }
+    }
+
+    /// Forwards a notification to the workload, if present.
+    pub fn notify(&mut self, now: SimTime, notice: GuestNotice) {
+        if let Some(p) = self.program.as_mut() {
+            p.notice(now, notice);
+        }
+    }
+
+    /// The workload verdict, folding in guest-level failures the workload
+    /// itself cannot observe (a crashed guest never reports).
+    pub fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict {
+        match &self.state {
+            DomainState::Crashed(why) => {
+                WorkloadVerdict::Failed(FailReason::GuestCrash(why.clone()))
+            }
+            DomainState::Destroyed | DomainState::Building => {
+                WorkloadVerdict::Failed(FailReason::Incomplete)
+            }
+            DomainState::Active => match &self.program {
+                Some(p) => p.verdict(now, deadline),
+                None => WorkloadVerdict::Running,
+            },
+        }
+    }
+}
+
+/// Specification for creating a domain.
+pub struct DomainSpec {
+    /// Privileged or application VM.
+    pub kind: DomainKind,
+    /// Number of pages to allocate to the domain.
+    pub pages: usize,
+    /// Physical CPU to pin the vCPU to.
+    pub pinned_cpu: CpuId,
+    /// The workload to run inside.
+    pub program: Box<dyn GuestProgram>,
+}
+
+impl fmt::Debug for DomainSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DomainSpec")
+            .field("kind", &self.kind)
+            .field("pages", &self.pages)
+            .field("pinned_cpu", &self.pinned_cpu)
+            .field(
+                "program",
+                &self.program.name(),
+            )
+            .finish()
+    }
+}
+
+/// A trivial workload that computes forever; useful in tests.
+#[derive(Debug, Clone, Default)]
+pub struct IdleLoop;
+
+impl GuestProgram for IdleLoop {
+    fn name(&self) -> &str {
+        "IdleLoop"
+    }
+
+    fn next_op(&mut self, _now: SimTime, _rng: &mut Pcg64) -> GuestOp {
+        GuestOp::Compute(nlh_sim::SimDuration::from_millis(1))
+    }
+
+    fn notice(&mut self, _now: SimTime, _notice: GuestNotice) {}
+
+    fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
+        WorkloadVerdict::CompletedOk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_lifecycle() {
+        let mut d = Domain::new(DomId(1), DomainKind::App, VcpuId(1), CpuId(1));
+        assert_eq!(d.state, DomainState::Building);
+        assert!(!d.is_active());
+        d.state = DomainState::Active;
+        assert!(d.is_active());
+        d.crash("triple fault");
+        assert_eq!(d.state, DomainState::Crashed("triple fault".into()));
+        // Crashing again keeps the original reason.
+        d.crash("other");
+        assert_eq!(d.state, DomainState::Crashed("triple fault".into()));
+    }
+
+    #[test]
+    fn crashed_domain_verdict_is_guest_crash() {
+        let mut d = Domain::new(DomId(1), DomainKind::App, VcpuId(1), CpuId(1));
+        d.state = DomainState::Active;
+        d.program = Some(Box::new(IdleLoop));
+        d.crash("oops");
+        match d.verdict(SimTime::ZERO, SimTime::from_secs(1)) {
+            WorkloadVerdict::Failed(FailReason::GuestCrash(w)) => assert_eq!(w, "oops"),
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn active_domain_delegates_verdict() {
+        let mut d = Domain::new(DomId(1), DomainKind::App, VcpuId(1), CpuId(1));
+        d.state = DomainState::Active;
+        d.program = Some(Box::new(IdleLoop));
+        assert!(d.verdict(SimTime::ZERO, SimTime::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn building_domain_is_incomplete() {
+        let d = Domain::new(DomId(2), DomainKind::App, VcpuId(2), CpuId(2));
+        assert_eq!(
+            d.verdict(SimTime::ZERO, SimTime::ZERO),
+            WorkloadVerdict::Failed(FailReason::Incomplete)
+        );
+    }
+
+    #[test]
+    fn idle_loop_behaves() {
+        let mut w = IdleLoop;
+        let mut rng = Pcg64::seed_from_u64(1);
+        match w.next_op(SimTime::ZERO, &mut rng) {
+            GuestOp::Compute(d) => assert_eq!(d.as_millis(), 1),
+            op => panic!("unexpected {op:?}"),
+        }
+        assert_eq!(w.name(), "IdleLoop");
+    }
+
+    #[test]
+    fn fail_reason_display() {
+        assert_eq!(
+            FailReason::GuestCrash("x".into()).to_string(),
+            "guest crashed: x"
+        );
+        assert!(FailReason::ServiceDegraded.to_string().contains("degraded"));
+    }
+
+    #[test]
+    fn domain_spec_debug_includes_workload_name() {
+        let spec = DomainSpec {
+            kind: DomainKind::App,
+            pages: 128,
+            pinned_cpu: CpuId(3),
+            program: Box::new(IdleLoop),
+        };
+        let dbg = format!("{spec:?}");
+        assert!(dbg.contains("IdleLoop"));
+        assert!(dbg.contains("128"));
+    }
+}

@@ -1,0 +1,429 @@
+//! Hypercalls, syscall forwarding, and the micro-op execution model.
+//!
+//! Every hypervisor activity — hypercall handlers, the forwarded-syscall
+//! path (x86-64 traps syscalls into the hypervisor, Section IV), timer and
+//! device interrupt handlers — is compiled into a [`Program`]: a flat list
+//! of [`MicroOp`]s executed one simulation step at a time. A fault can
+//! therefore strike *between any two state updates*, leaving exactly the
+//! partial-execution residue the paper's recovery enhancements exist to
+//! repair: held locks, half-applied page pins, unacknowledged interrupts,
+//! un-reprogrammed APIC timers, lost recurring events, torn scheduler
+//! metadata, and partially executed (possibly non-idempotent) hypercalls.
+//!
+//! ## Non-idempotent hypercalls and the vulnerability window
+//!
+//! A handler's *side effects* (e.g. [`MicroOp::IncRef`]) occur before its
+//! [`MicroOp::CommitHypercall`]. If recovery abandons the handler inside
+//! that window and then retries the hypercall, the side effects apply
+//! twice. The paper's mitigation (Section IV) is reproduced in two parts:
+//!
+//! * **Undo logging** — when enabled, a [`MicroOp::LogUndo`] op precedes
+//!   each side effect; recovery replays the log backwards before retrying.
+//! * **Code reordering** — handler builders emit a variant with all side
+//!   effects packed immediately before the commit, shrinking the window
+//!   without runtime cost.
+
+use nlh_sim::{CpuId, DomId, IrqVector, LockId, PageNum, SimDuration, VcpuId};
+use serde::{Deserialize, Serialize};
+
+use crate::interrupts::GuestEventKind;
+use crate::timers::TimerEventKind;
+
+/// An abstract hypercall request as issued by a guest workload.
+///
+/// Requests are *templates*: the hypervisor instantiates them against the
+/// issuing domain's concrete pages when it builds the handler [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HcRequest {
+    /// Pin `n` of the caller's pages as page-table pages
+    /// (`mmu_update`/`MMUEXT_PIN`; non-idempotent: use counter + validation).
+    PinPages(usize),
+    /// Unpin `n` previously pinned pages (non-idempotent).
+    UnpinPages(usize),
+    /// Populate `n` new pages into the caller (`memory_op` increase;
+    /// non-idempotent; takes the static page-allocator lock).
+    MemoryIncrease(usize),
+    /// Release `n` of the caller's pages (`memory_op` decrease;
+    /// non-idempotent; static page-allocator lock).
+    MemoryDecrease(usize),
+    /// Map a grant reference from another domain (`grant_table_op`;
+    /// non-idempotent and — deliberately — *not* covered by undo logging:
+    /// it models the paper's "infrequently-used handlers we have not
+    /// properly enhanced").
+    GrantMap {
+        /// The granting domain.
+        from: DomId,
+    },
+    /// Send an event-channel notification (idempotent).
+    EventSend {
+        /// Destination domain.
+        to: DomId,
+        /// Event payload to deliver.
+        event: GuestEventKind,
+    },
+    /// Write to the console (static console lock; idempotent).
+    ConsoleWrite,
+    /// Arm the caller's one-shot timer (idempotent).
+    SetTimer,
+    /// A batch of sub-hypercalls (`multicall`). The completion of each
+    /// sub-call is logged when batched-completion logging is enabled, so a
+    /// retry can skip the already-finished prefix (Section IV).
+    Multicall(Vec<HcRequest>),
+    /// Create a new domain (PrivVM only; static domctl + page-alloc locks).
+    DomctlCreate,
+    /// Destroy a domain (PrivVM only).
+    DomctlDestroy(DomId),
+    /// Reprogram an I/O APIC route (PrivVM only; the writes ReHype must log).
+    PhysdevRoute(IrqVector, CpuId),
+    /// A trivial read-only hypercall (`xen_version`; idempotent).
+    XenVersion,
+    /// Voluntarily block the calling vCPU until an event arrives
+    /// (`sched_op(SCHEDOP_block)`; idempotent).
+    SchedBlock,
+    /// Transmit a NetBench reply packet (idempotent; duplicates are
+    /// de-duplicated by sequence number at the measuring sender).
+    NetReply(u64),
+    /// A paravirtual block I/O request: grant + notify the PrivVM's driver
+    /// domain. Completion arrives later as a [`GuestEventKind::BlkComplete`].
+    BlockIo {
+        /// Request id chosen by the guest.
+        req: u64,
+    },
+}
+
+impl HcRequest {
+    /// Whether a partial execution of this request can corrupt state when
+    /// blindly retried (i.e. it has side effects before its commit).
+    pub fn is_non_idempotent(&self) -> bool {
+        match self {
+            HcRequest::PinPages(_)
+            | HcRequest::UnpinPages(_)
+            | HcRequest::MemoryIncrease(_)
+            | HcRequest::MemoryDecrease(_)
+            | HcRequest::GrantMap { .. }
+            | HcRequest::DomctlCreate
+            | HcRequest::DomctlDestroy(_) => true,
+            HcRequest::Multicall(calls) => calls.iter().any(|c| c.is_non_idempotent()),
+            HcRequest::EventSend { .. }
+            | HcRequest::ConsoleWrite
+            | HcRequest::SetTimer
+            | HcRequest::PhysdevRoute(..)
+            | HcRequest::XenVersion
+            | HcRequest::SchedBlock
+            | HcRequest::NetReply(_)
+            | HcRequest::BlockIo { .. } => false,
+        }
+    }
+}
+
+/// An entry in the undo log: how to revert one applied side effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UndoEntry {
+    /// Revert an `inc_ref`.
+    DecRef(PageNum),
+    /// Revert a `dec_ref`.
+    IncRef(PageNum),
+    /// Restore the validation bit to `bool`.
+    SetValidated(PageNum, bool),
+    /// Return a freshly allocated page to the free list.
+    UnallocPage(PageNum),
+}
+
+/// One micro-operation of hypervisor execution.
+///
+/// Executing a micro-op advances the hypervisor by one atomic state change;
+/// faults are injected at micro-op boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// Generic computation with no architectural side effect.
+    Compute,
+    /// `ASSERT(!in_irq())` — panics the hypervisor if `local_irq_count` is
+    /// nonzero. Emitted at the head of every non-interrupt entry path, as
+    /// Xen does in code that must not run in interrupt context.
+    AssertNotInIrq,
+    /// Interrupt-handler entry: increments `local_irq_count`.
+    EnterIrq,
+    /// Interrupt-handler exit: decrements `local_irq_count`.
+    LeaveIrq,
+    /// Acquire a spinlock (spins while contended).
+    Acquire(LockId),
+    /// Release a spinlock.
+    Release(LockId),
+    /// Increment a page's use counter (side effect).
+    IncRef(PageNum),
+    /// Decrement a page's use counter (side effect).
+    DecRef(PageNum),
+    /// Set a page's validation bit (side effect). Setting it on an
+    /// already-validated page is a hypervisor `BUG()` — the signature of a
+    /// double-applied pin retry.
+    SetValidated(PageNum, bool),
+    /// Append an undo-log entry for a preceding side effect. The gap
+    /// between a side effect and its log write is the paper's residual
+    /// vulnerability window: "even for the handlers that have been
+    /// modified, the changes do not resolve 100% of the problem"
+    /// (Section IV).
+    LogUndo(UndoEntry),
+    /// Allocate one page into a domain (side effect; fails the hypervisor
+    /// on corrupt free-list state).
+    AllocPage(DomId),
+    /// Free one specific page from a domain (side effect; fails the
+    /// hypervisor on refcount anomalies).
+    FreePage(DomId, PageNum),
+    /// Pop one due software timer event (timer-interrupt handler).
+    PopTimerEvent(TimerEventKind),
+    /// Re-arm a recurring timer event `period` in the future.
+    RearmTimerEvent(TimerEventKind, SimDuration),
+    /// Apply the global time synchronization (under the static time lock).
+    TimeSyncApply,
+    /// Increment this CPU's watchdog heartbeat.
+    HeartbeatIncrement,
+    /// Post a paravirtual event to a domain's event channel.
+    PostGuestEvent(DomId, GuestEventKind),
+    /// Reprogram the local APIC one-shot timer from the software timer heap.
+    ProgramApic,
+    /// Context-switch step 1: set the per-CPU current pointer.
+    CsSetPercpuCurrent(Option<VcpuId>),
+    /// Context-switch step 2: set the vCPU's `running_on`.
+    CsSetRunningOn(VcpuId, Option<CpuId>),
+    /// Context-switch step 3: set the vCPU's `is_current`.
+    CsSetIsCurrent(VcpuId, bool),
+    /// The scheduler's consistency `ASSERT` (panics the hypervisor when the
+    /// redundant metadata disagrees).
+    SchedConsistencyAssert,
+    /// Complete the current hypercall: deliver the result to the guest and
+    /// clear its pending-request state.
+    CommitHypercall,
+    /// Record that sub-call `i` of a multicall finished (present only when
+    /// batched-completion logging is enabled; charged the logging cost).
+    LogCompletion(usize),
+    /// Deliver the forwarded syscall to the guest kernel (completion of the
+    /// x86-64 syscall-forwarding path).
+    DeliverSyscall,
+    /// Signal end-of-interrupt for a vector on this CPU.
+    Eoi(IrqVector),
+    /// Write an I/O APIC redirection entry (ReHype logs these).
+    IoapicWrite(IrqVector, Option<CpuId>),
+    /// Create-domain step: allocate all pages and build structures for a
+    /// pending domain specification.
+    BuildDomain(DomId),
+    /// Create-domain final step: mark the domain runnable.
+    FinalizeDomain(DomId),
+    /// Destroy-domain step: tear down the domain and free its pages.
+    TeardownDomain(DomId),
+    /// Mark a blocked vCPU runnable again (event delivery wakes it).
+    UnblockVcpu(VcpuId),
+    /// Put a descheduled vCPU back on its runqueue (context-switch path).
+    EnqueueVcpu(VcpuId),
+    /// Remove a vCPU being switched in from its runqueue.
+    DequeueVcpu(VcpuId),
+    /// Record an outbound NetBench reply at the external sender (used to
+    /// measure service interruption — Section VII-B).
+    RecordNetReply(u64),
+}
+
+/// Why the hypervisor was entered (what the current program is doing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryCause {
+    /// Servicing a hypercall from `vcpu`.
+    Hypercall(VcpuId),
+    /// Forwarding a syscall for `vcpu` (x86-64 path).
+    Syscall(VcpuId),
+    /// Servicing the local APIC timer interrupt.
+    TimerInterrupt,
+    /// Servicing a device interrupt.
+    DeviceInterrupt(IrqVector),
+    /// The scheduler switching a woken vCPU in on an idle CPU.
+    Scheduler,
+}
+
+impl EntryCause {
+    /// The vCPU on whose behalf this entry runs, if any.
+    pub fn vcpu(self) -> Option<VcpuId> {
+        match self {
+            EntryCause::Hypercall(v) | EntryCause::Syscall(v) => Some(v),
+            EntryCause::TimerInterrupt
+            | EntryCause::DeviceInterrupt(_)
+            | EntryCause::Scheduler => None,
+        }
+    }
+
+    /// Whether this is an interrupt context (enters via `EnterIrq`).
+    pub fn is_interrupt(self) -> bool {
+        matches!(
+            self,
+            EntryCause::TimerInterrupt | EntryCause::DeviceInterrupt(_)
+        )
+    }
+}
+
+/// A compiled hypervisor execution: the micro-ops plus their cause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Why the hypervisor is executing.
+    pub cause: EntryCause,
+    /// The micro-ops, executed in order.
+    pub ops: Vec<MicroOp>,
+    /// Whether this handler's side effects are covered by undo logging
+    /// (enhanced handlers only; `GrantMap` models the paper's un-enhanced
+    /// infrequent handlers and is never logged).
+    pub logged: bool,
+}
+
+impl Program {
+    /// Creates an unlogged program.
+    pub fn new(cause: EntryCause, ops: Vec<MicroOp>) -> Self {
+        Program {
+            cause,
+            ops,
+            logged: false,
+        }
+    }
+
+    /// Creates a program whose side effects are undo-logged.
+    pub fn new_logged(cause: EntryCause, ops: Vec<MicroOp>) -> Self {
+        Program {
+            cause,
+            ops,
+            logged: true,
+        }
+    }
+
+    /// Number of micro-ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A request a vCPU has issued into the hypervisor and is waiting on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingRequest {
+    /// The request (hypercall template or forwarded syscall).
+    pub kind: PendingKind,
+    /// Concrete pages each sub-call operates on, fixed at first dispatch so
+    /// a retry re-executes against the *same* pages (simple requests use a
+    /// single binding set).
+    pub bindings: Vec<Vec<PageNum>>,
+    /// Sub-calls of a multicall already logged as complete.
+    pub completed_subcalls: usize,
+    /// Set by recovery's retry enhancements: re-execute on next dispatch.
+    pub will_retry: bool,
+}
+
+/// What kind of request is pending.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PendingKind {
+    /// A hypercall.
+    Hypercall(HcRequest),
+    /// A forwarded syscall.
+    Syscall,
+}
+
+/// Normal-operation support features the recovery mechanism configures on
+/// the hypervisor (they exist to make recovery possible and are the source
+/// of the paper's normal-operation overhead, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpSupport {
+    /// Undo logging for non-idempotent hypercalls (Section IV). The paper's
+    /// "NiLiHype*" configuration turns this off.
+    pub undo_logging: bool,
+    /// Code reordering that shrinks non-idempotent vulnerability windows.
+    pub reorder_nonidem: bool,
+    /// Per-sub-call completion logging for batched hypercalls.
+    pub batched_completion_log: bool,
+    /// Log I/O APIC register writes (needed by ReHype only).
+    pub ioapic_write_log: bool,
+    /// Log boot-line options (needed by ReHype only).
+    pub bootline_log: bool,
+    /// Save guest FS/GS when an error is detected (Section IV).
+    pub save_fsgs: bool,
+}
+
+impl OpSupport {
+    /// Everything enabled — NiLiHype's evaluated configuration (the I/O APIC
+    /// and boot-line logs are harmless when unused).
+    pub fn full() -> Self {
+        OpSupport {
+            undo_logging: true,
+            reorder_nonidem: true,
+            batched_completion_log: true,
+            ioapic_write_log: true,
+            bootline_log: true,
+            save_fsgs: true,
+        }
+    }
+
+    /// Nothing enabled — the "basic" starting point of the ladders.
+    pub fn none() -> Self {
+        OpSupport {
+            undo_logging: false,
+            reorder_nonidem: false,
+            batched_completion_log: false,
+            ioapic_write_log: false,
+            bootline_log: false,
+            save_fsgs: false,
+        }
+    }
+}
+
+impl Default for OpSupport {
+    fn default() -> Self {
+        OpSupport::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_idempotence_classification() {
+        assert!(HcRequest::PinPages(1).is_non_idempotent());
+        assert!(HcRequest::MemoryDecrease(1).is_non_idempotent());
+        assert!(HcRequest::GrantMap { from: DomId(0) }.is_non_idempotent());
+        assert!(!HcRequest::XenVersion.is_non_idempotent());
+        assert!(!HcRequest::ConsoleWrite.is_non_idempotent());
+        assert!(!HcRequest::SetTimer.is_non_idempotent());
+    }
+
+    #[test]
+    fn multicall_inherits_non_idempotence() {
+        let clean = HcRequest::Multicall(vec![HcRequest::XenVersion, HcRequest::ConsoleWrite]);
+        assert!(!clean.is_non_idempotent());
+        let dirty = HcRequest::Multicall(vec![HcRequest::XenVersion, HcRequest::PinPages(1)]);
+        assert!(dirty.is_non_idempotent());
+    }
+
+    #[test]
+    fn entry_cause_accessors() {
+        assert_eq!(EntryCause::Hypercall(VcpuId(3)).vcpu(), Some(VcpuId(3)));
+        assert_eq!(EntryCause::Syscall(VcpuId(1)).vcpu(), Some(VcpuId(1)));
+        assert_eq!(EntryCause::TimerInterrupt.vcpu(), None);
+        assert!(EntryCause::TimerInterrupt.is_interrupt());
+        assert!(EntryCause::DeviceInterrupt(IrqVector(1)).is_interrupt());
+        assert!(!EntryCause::Hypercall(VcpuId(0)).is_interrupt());
+    }
+
+    #[test]
+    fn op_support_presets() {
+        let full = OpSupport::full();
+        assert!(full.undo_logging && full.save_fsgs && full.batched_completion_log);
+        let none = OpSupport::none();
+        assert!(!none.undo_logging && !none.save_fsgs && !none.ioapic_write_log);
+        assert_eq!(OpSupport::default(), full);
+    }
+
+    #[test]
+    fn program_len() {
+        let p = Program::new(
+            EntryCause::TimerInterrupt,
+            vec![MicroOp::EnterIrq, MicroOp::LeaveIrq],
+        );
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

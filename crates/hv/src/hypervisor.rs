@@ -1,0 +1,2047 @@
+//! The aggregate simulated machine and its micro-op execution loop.
+//!
+//! A [`Hypervisor`] owns every subsystem (memory, locks, scheduler, timers,
+//! interrupts, domains) plus per-CPU runtime state. The simulation advances
+//! by stepping the CPU with the smallest local clock; a step is either a
+//! slice of guest execution or exactly one hypervisor [`MicroOp`]. All the
+//! recovery-relevant residue — held locks, interrupt nesting, partial
+//! hypercalls, unprogrammed APIC timers — arises from abandoning these
+//! micro-op programs mid-flight.
+
+use std::collections::VecDeque;
+
+use nlh_sim::trace::{TraceLevel, TraceRing};
+use nlh_sim::{CpuId, Cycles, DomId, LockId, PageNum, Pcg64, SimDuration, SimTime, VcpuId};
+
+use crate::accounting::CycleAccounting;
+use crate::config::{HvTuning, MachineConfig};
+use crate::detect::{Detection, DetectionKind};
+use crate::domain::{Domain, DomainSpec, DomainState, GuestNotice, GuestOp};
+use crate::hypercalls::{
+    EntryCause, HcRequest, MicroOp, OpSupport, PendingKind, PendingRequest, Program, UndoEntry,
+};
+use crate::interrupts::{GuestEventKind, IrqSubsystem, VEC_NET};
+use crate::locks::{AcquireOutcome, LockPlacement, LockRegistry, StaticLock};
+use crate::mem::{Heap, HeapObjKind, PageFrameTable, PageState};
+use crate::percpu::PerCpu;
+use crate::sched::Scheduler;
+use crate::timers::{TimerEvent, TimerEventKind, TimerSubsystem};
+
+/// Coarse per-CPU execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuMode {
+    /// Running guest code or idling; the scheduler decides which each step.
+    Run,
+    /// Executing hypervisor micro-ops (a non-empty program stack).
+    Hv,
+    /// Parked in the recovery busy-wait.
+    Parked,
+    /// Spinning in a fault-induced infinite loop with interrupts disabled
+    /// (will be caught by the watchdog).
+    Wedged,
+}
+
+/// What one simulation step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A slice of guest execution.
+    Guest,
+    /// One hypervisor micro-op.
+    HvOp,
+    /// Idle/parked/wedged time passed.
+    Idle,
+    /// Nothing ran: a detection is pending and the machine is frozen until
+    /// recovery clears it.
+    Frozen,
+}
+
+/// An in-flight hypervisor execution on one CPU.
+#[derive(Debug, Clone)]
+struct Frame {
+    program: Program,
+    pc: usize,
+}
+
+/// External NetBench traffic: the sender on a separate physical host that
+/// emits one UDP packet per millisecond (Section VI-A).
+#[derive(Debug, Clone)]
+pub struct NetTraffic {
+    /// The receiving domain.
+    pub target: DomId,
+    /// Packet period (1 ms in the paper).
+    pub period: SimDuration,
+    /// Next packet send time.
+    pub next: SimTime,
+    /// Next sequence number.
+    pub seq: u64,
+    /// Packets handed to (or dropped at) the guest so far.
+    pub delivered: u64,
+    /// Packets dropped because the receive ring was full.
+    pub drops: u64,
+    /// Receive-ring capacity.
+    pub ring_capacity: usize,
+}
+
+/// Summary returned by [`Hypervisor::discard_all_stacks`].
+#[derive(Debug, Clone)]
+pub struct AbandonReport {
+    /// Number of execution threads (program frames) discarded.
+    pub frames_discarded: usize,
+    /// vCPUs that were *inside* the hypervisor (their request in flight) —
+    /// their FS/GS are clobbered unless saved at detection.
+    pub in_hv_vcpus: Vec<VcpuId>,
+    /// Locks that were held at the moment of abandonment.
+    pub held_locks: Vec<LockId>,
+}
+
+/// The simulated virtualization platform.
+///
+/// See the crate docs for the overall model. Most subsystem fields are
+/// public: the recovery mechanisms (`nlh-core`) and the fault injector
+/// (`nlh-inject`) operate on them exactly as the paper's code operates on
+/// Xen's internals.
+#[derive(Debug)]
+pub struct Hypervisor {
+    /// Machine parameters.
+    pub config: MachineConfig,
+    /// Simulation tuning.
+    pub tuning: HvTuning,
+    /// Normal-operation recovery-support features.
+    pub support: OpSupport,
+    /// Page-frame descriptors.
+    pub pft: PageFrameTable,
+    /// The hypervisor heap.
+    pub heap: Heap,
+    /// All spinlocks.
+    pub locks: LockRegistry,
+    /// Per-CPU architectural state.
+    pub percpu: Vec<PerCpu>,
+    /// The vCPU scheduler.
+    pub sched: Scheduler,
+    /// Software timer heaps.
+    pub timers: TimerSubsystem,
+    /// Interrupt + event-channel state.
+    pub irqs: IrqSubsystem,
+    /// All domains, indexed by [`DomId`].
+    pub domains: Vec<Domain>,
+    /// Cycle accounting.
+    pub accounting: CycleAccounting,
+    /// The trial's deterministic RNG.
+    pub rng: Pcg64,
+    /// Debug trace ring.
+    pub trace: TraceRing,
+    /// External NetBench traffic source, if configured.
+    pub net: Option<NetTraffic>,
+    /// `(seq, time)` of every NetBench reply observed by the sender.
+    pub net_replies: Vec<(u64, SimTime)>,
+    /// Domain specifications waiting for a `domctl` create hypercall.
+    pub create_queue: VecDeque<DomainSpec>,
+    /// The undo log for non-idempotent hypercalls (Section IV).
+    pub undo_log: Vec<(VcpuId, UndoEntry)>,
+    /// ReHype's I/O APIC write log (reconstructed routes).
+    pub ioapic_log: Option<[Option<CpuId>; crate::interrupts::NUM_VECTORS]>,
+    /// Last successful platform time synchronization.
+    pub last_time_sync: SimTime,
+    /// Fault-injection target: static scratch state that a reboot
+    /// re-initializes but microreset keeps in place.
+    pub boot_scratch_corrupted: bool,
+    /// Fault-injection target: whether the recovery routine itself is still
+    /// intact (the paper's top recovery-failure reason when corrupted).
+    pub recovery_entry_ok: bool,
+    /// Per-CPU runqueue locks (heap-allocated, as in Xen).
+    pub runq_locks: Vec<LockId>,
+    /// Per-CPU timer-heap locks (heap-allocated).
+    pub timer_locks: Vec<LockId>,
+    /// Map vCPU → owning domain.
+    pub vcpu_dom: Vec<DomId>,
+
+    cpu_now: Vec<SimTime>,
+    cpu_mode: Vec<CpuMode>,
+    stacks: Vec<Vec<Frame>>,
+    detection: Option<Detection>,
+}
+
+impl Hypervisor {
+    /// Boots a hypervisor on `config` with the given RNG seed. No domains
+    /// exist yet; add them with [`Hypervisor::add_boot_domain`].
+    pub fn new(config: MachineConfig, seed: u64) -> Self {
+        Self::with_tuning(config, HvTuning::calibrated(), seed)
+    }
+
+    /// Boots with explicit tuning parameters.
+    pub fn with_tuning(config: MachineConfig, tuning: HvTuning, seed: u64) -> Self {
+        let n = config.num_cpus;
+        let mut pft = PageFrameTable::new(config.num_pages());
+        let mut heap = Heap::new();
+        let mut locks = LockRegistry::new();
+        let mut timers = TimerSubsystem::new(n);
+
+        let mut runq_locks = Vec::with_capacity(n);
+        let mut timer_locks = Vec::with_capacity(n);
+        for cpu in 0..n {
+            let rl = locks.register(format!("runq[{cpu}]"), LockPlacement::Heap);
+            heap.alloc(&mut pft, HeapObjKind::PerCpuSched(cpu as u32), 1, Some(rl))
+                .expect("boot heap allocation cannot fail");
+            runq_locks.push(rl);
+            let tl = locks.register(format!("timer_heap[{cpu}]"), LockPlacement::Heap);
+            heap.alloc(&mut pft, HeapObjKind::PerCpuTimer(cpu as u32), 1, Some(tl))
+                .expect("boot heap allocation cannot fail");
+            timer_locks.push(tl);
+        }
+
+        // Register the recurring events, staggered so CPUs do not tick in
+        // lockstep.
+        let stagger = |cpu: usize, k: u64| SimDuration::from_micros(97 * cpu as u64 + 13 * k);
+        timers.insert(
+            CpuId(0),
+            TimerEvent {
+                deadline: SimTime::ZERO + tuning.time_sync_period,
+                kind: TimerEventKind::TimeSync,
+                period: Some(tuning.time_sync_period),
+            },
+        );
+        for cpu in 0..n {
+            timers.insert(
+                CpuId::from_index(cpu),
+                TimerEvent {
+                    deadline: SimTime::ZERO + tuning.watchdog_heartbeat_period + stagger(cpu, 1),
+                    kind: TimerEventKind::WatchdogHeartbeat(CpuId::from_index(cpu)),
+                    period: Some(tuning.watchdog_heartbeat_period),
+                },
+            );
+            timers.insert(
+                CpuId::from_index(cpu),
+                TimerEvent {
+                    deadline: SimTime::ZERO + tuning.tick_period + stagger(cpu, 2),
+                    kind: TimerEventKind::SchedTick(CpuId::from_index(cpu)),
+                    period: Some(tuning.tick_period),
+                },
+            );
+        }
+
+        let mut percpu: Vec<PerCpu> = (0..n)
+            .map(|cpu| PerCpu::new(SimTime::ZERO + tuning.watchdog_nmi_period + stagger(cpu, 3)))
+            .collect();
+        for (cpu, pc) in percpu.iter_mut().enumerate() {
+            if let Some(d) = timers.peek_deadline(CpuId::from_index(cpu)) {
+                pc.apic.program(d);
+            }
+        }
+
+        Hypervisor {
+            accounting: CycleAccounting::new(n),
+            sched: Scheduler::new(n),
+            irqs: IrqSubsystem::new(n, 4),
+            percpu,
+            timers,
+            heap,
+            locks,
+            pft,
+            rng: Pcg64::seed_from_u64(seed),
+            trace: TraceRing::disabled(),
+            net: None,
+            net_replies: Vec::new(),
+            create_queue: VecDeque::new(),
+            undo_log: Vec::new(),
+            ioapic_log: None,
+            last_time_sync: SimTime::ZERO,
+            boot_scratch_corrupted: false,
+            recovery_entry_ok: true,
+            runq_locks,
+            timer_locks,
+            vcpu_dom: Vec::new(),
+            cpu_now: vec![SimTime::ZERO; n],
+            cpu_mode: vec![CpuMode::Run; n],
+            stacks: vec![Vec::new(); n],
+            detection: None,
+            domains: Vec::new(),
+            support: OpSupport::full(),
+            config,
+            tuning,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Domain construction
+    // ------------------------------------------------------------------
+
+    /// Creates a domain at boot time (before the measurement window), as
+    /// `xl create` would before the benchmark starts. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is out of memory (a configuration error).
+    pub fn add_boot_domain(&mut self, spec: DomainSpec) -> DomId {
+        let id = DomId::from_index(self.domains.len());
+        let vcpu = VcpuId::from_index(self.vcpu_dom.len());
+        let mut dom = Domain::new(id, spec.kind, vcpu, spec.pinned_cpu);
+        dom.target_pages = spec.pages;
+        for _ in 0..spec.pages {
+            let p = self
+                .pft
+                .alloc(Some(id), PageState::DomainOwned)
+                .expect("boot domain allocation failed: machine too small");
+            dom.owned_pages.push(p);
+        }
+        dom.program = Some(spec.program);
+        dom.state = DomainState::Active;
+        self.vcpu_dom.push(id);
+        self.sched.register_vcpu(vcpu, spec.pinned_cpu);
+        self.irqs.ensure_domain(id);
+        self.timers.insert(
+            spec.pinned_cpu,
+            TimerEvent {
+                deadline: SimTime::ZERO + self.tuning.tick_period,
+                kind: TimerEventKind::DomainTimer(vcpu),
+                period: Some(self.tuning.tick_period),
+            },
+        );
+        // Switch the vCPU in immediately (boot-time, consistent) — unless
+        // the CPU is already occupied by another vCPU (shared-CPU
+        // configurations), in which case it waits on the runqueue for the
+        // scheduler tick.
+        if self.sched.current(spec.pinned_cpu).is_none() {
+            self.sched.dequeue(vcpu);
+            self.sched.cs_set_percpu_current(spec.pinned_cpu, Some(vcpu));
+            self.sched.cs_set_running_on(vcpu, Some(spec.pinned_cpu));
+            self.sched.cs_set_is_current(vcpu, true);
+        }
+        self.domains.push(dom);
+        id
+    }
+
+    /// Queues a specification for the next `domctl` create hypercall (the
+    /// PrivVM creates the post-recovery BlkBench VM this way in the 3AppVM
+    /// setup).
+    pub fn queue_domain_creation(&mut self, spec: DomainSpec) {
+        self.create_queue.push_back(spec);
+    }
+
+    /// Attaches the external NetBench sender.
+    pub fn attach_net_traffic(&mut self, target: DomId, period: SimDuration) {
+        let cpu = self.domains[target.index()].pinned_cpu;
+        self.irqs.ioapic_write(VEC_NET, Some(cpu));
+        self.net = Some(NetTraffic {
+            target,
+            period,
+            next: SimTime::ZERO + period,
+            seq: 0,
+            delivered: 0,
+            drops: 0,
+            ring_capacity: 4096,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The pending detection, if an error has been detected.
+    pub fn detection(&self) -> Option<&Detection> {
+        self.detection.as_ref()
+    }
+
+    /// The earliest per-CPU clock (the machine's notion of "now").
+    pub fn now(&self) -> SimTime {
+        self.cpu_now.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The latest per-CPU clock.
+    pub fn now_max(&self) -> SimTime {
+        self.cpu_now.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The local clock of `cpu`.
+    pub fn cpu_now(&self, cpu: CpuId) -> SimTime {
+        self.cpu_now[cpu.index()]
+    }
+
+    /// The execution mode of `cpu`.
+    pub fn cpu_mode(&self, cpu: CpuId) -> CpuMode {
+        self.cpu_mode[cpu.index()]
+    }
+
+    /// Sets a CPU's execution mode (used by the fault-injection surface).
+    pub(crate) fn set_cpu_mode(&mut self, cpu: CpuId, mode: CpuMode) {
+        self.cpu_mode[cpu.index()] = mode;
+    }
+
+    /// Whether `cpu` is mid-way through a hypervisor program (at least one
+    /// micro-op executed, at least one remaining). The injector targets
+    /// these points: on real hardware there is no architecturally "clean"
+    /// instant of hypervisor execution between two handlers.
+    pub fn cpu_mid_program(&self, cpu: CpuId) -> bool {
+        self.cpu_mode[cpu.index()] == CpuMode::Hv
+            && self.stacks[cpu.index()].last().map(|f| f.pc >= 1).unwrap_or(false)
+    }
+
+    /// Number of physical CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.config.num_cpus
+    }
+
+    /// The domain owning `vcpu`.
+    pub fn domain_of(&self, vcpu: VcpuId) -> DomId {
+        self.vcpu_dom[vcpu.index()]
+    }
+
+    /// vCPUs that currently have an in-flight (uncommitted) request.
+    pub fn vcpus_with_pending(&self) -> Vec<VcpuId> {
+        self.domains
+            .iter()
+            .filter(|d| d.pending.is_some())
+            .map(|d| d.vcpu)
+            .collect()
+    }
+
+    /// The recurring timer events that must exist for correct operation —
+    /// what NiLiHype's "reactivate recurring timer events" enhancement
+    /// re-creates when missing.
+    pub fn expected_recurring(&self) -> Vec<(TimerEventKind, CpuId, SimDuration)> {
+        let mut out = vec![(
+            TimerEventKind::TimeSync,
+            CpuId(0),
+            self.tuning.time_sync_period,
+        )];
+        for cpu in 0..self.num_cpus() {
+            let c = CpuId::from_index(cpu);
+            out.push((
+                TimerEventKind::WatchdogHeartbeat(c),
+                c,
+                self.tuning.watchdog_heartbeat_period,
+            ));
+            out.push((TimerEventKind::SchedTick(c), c, self.tuning.tick_period));
+        }
+        for d in &self.domains {
+            if d.is_active() {
+                out.push((
+                    TimerEventKind::DomainTimer(d.vcpu),
+                    d.pinned_cpu,
+                    self.tuning.tick_period,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Whether platform time synchronization is healthy at `now` (has run
+    /// within three periods). A stale platform clock means the hypervisor
+    /// is no longer operating correctly.
+    pub fn time_sync_healthy(&self, now: SimTime) -> bool {
+        now.saturating_since(self.last_time_sync) < self.tuning.time_sync_period * 4
+    }
+
+    // ------------------------------------------------------------------
+    // Detection
+    // ------------------------------------------------------------------
+
+    /// Raises a hypervisor panic on `cpu`. The first detection wins; later
+    /// ones are ignored (the machine is already frozen).
+    pub fn raise_panic(&mut self, cpu: CpuId, reason: impl Into<String>) {
+        if self.detection.is_none() {
+            let d = Detection::new(self.cpu_now[cpu.index()], cpu, DetectionKind::Panic, reason);
+            self.trace
+                .record(d.at, TraceLevel::Event, format!("PANIC: {d}"));
+            self.detection = Some(d);
+        }
+    }
+
+    /// Raises a watchdog hang detection on `cpu`.
+    pub fn raise_hang(&mut self, cpu: CpuId, reason: impl Into<String>) {
+        if self.detection.is_none() {
+            let d = Detection::new(self.cpu_now[cpu.index()], cpu, DetectionKind::Hang, reason);
+            self.trace
+                .record(d.at, TraceLevel::Event, format!("HANG: {d}"));
+            self.detection = Some(d);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The step loop
+    // ------------------------------------------------------------------
+
+    /// Steps the CPU with the earliest local clock.
+    pub fn step_any(&mut self) -> (CpuId, StepOutcome) {
+        let cpu = self
+            .cpu_now
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| CpuId::from_index(i))
+            .expect("at least one CPU");
+        let out = self.step(cpu);
+        (cpu, out)
+    }
+
+    /// Runs until `deadline` or until an error is detected.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.detection.is_none() && self.now() < deadline {
+            self.step_any();
+        }
+    }
+
+    /// Runs for `dur` of simulated time or until an error is detected.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let deadline = self.now() + dur;
+        self.run_until(deadline);
+    }
+
+    /// Steps one CPU once.
+    pub fn step(&mut self, cpu: CpuId) -> StepOutcome {
+        if self.detection.is_some() {
+            return StepOutcome::Frozen;
+        }
+        let i = cpu.index();
+        let now = self.cpu_now[i];
+
+        // The watchdog NMI is driven by a hardware performance counter and
+        // fires regardless of CPU mode (even wedged with interrupts off).
+        if self.cpu_mode[i] != CpuMode::Parked && now >= self.percpu[i].watchdog.next_check {
+            let stalled = self.percpu[i].watchdog.nmi_check(
+                now,
+                self.tuning.watchdog_nmi_period,
+                self.tuning.watchdog_stall_threshold,
+            );
+            if stalled {
+                self.raise_hang(cpu, "watchdog: heartbeat stalled for 3 checks");
+                return StepOutcome::Frozen;
+            }
+        }
+
+        // External network traffic materializes on the routed CPU's clock.
+        self.generate_net_traffic(cpu);
+
+        match self.cpu_mode[i] {
+            CpuMode::Parked | CpuMode::Wedged => {
+                self.advance(cpu, self.tuning.idle_quantum);
+                StepOutcome::Idle
+            }
+            CpuMode::Hv => self.step_hv(cpu),
+            CpuMode::Run => self.step_run(cpu),
+        }
+    }
+
+    fn generate_net_traffic(&mut self, cpu: CpuId) {
+        let routed = self.irqs.ioapic_route(VEC_NET);
+        if routed != Some(cpu) {
+            return;
+        }
+        let now = self.cpu_now[cpu.index()];
+        let mut raise = false;
+        if let Some(net) = self.net.as_mut() {
+            while net.next <= now {
+                net.seq += 1;
+                net.next += net.period;
+                raise = true;
+            }
+        }
+        if raise {
+            self.irqs.raise(cpu, VEC_NET);
+        }
+    }
+
+    fn advance(&mut self, cpu: CpuId, d: SimDuration) {
+        self.cpu_now[cpu.index()] = self.cpu_now[cpu.index()] + d;
+    }
+
+    fn advance_to(&mut self, cpu: CpuId, t: SimTime) {
+        let i = cpu.index();
+        if t > self.cpu_now[i] {
+            self.cpu_now[i] = t;
+        } else {
+            self.advance(cpu, self.tuning.idle_quantum);
+        }
+    }
+
+    /// Guest-or-idle step.
+    fn step_run(&mut self, cpu: CpuId) -> StepOutcome {
+        let i = cpu.index();
+        let now = self.cpu_now[i];
+
+        // APIC timer interrupt?
+        if self.percpu[i].apic.take_fire(now) {
+            let prog = self.build_timer_interrupt(cpu);
+            self.push_frame(cpu, prog);
+            return StepOutcome::HvOp;
+        }
+
+        // Device interrupt (network)?
+        if self.irqs.ioapic_route(VEC_NET) == Some(cpu)
+            && self.irqs.is_pending(cpu, VEC_NET)
+            && self.irqs.dispatch(cpu, VEC_NET)
+        {
+            let prog = self.build_net_interrupt(cpu);
+            self.push_frame(cpu, prog);
+            return StepOutcome::HvOp;
+        }
+
+        match self.sched.current(cpu) {
+            Some(vcpu) => self.step_guest(cpu, vcpu),
+            None => self.step_idle(cpu),
+        }
+    }
+
+    fn step_idle(&mut self, cpu: CpuId) -> StepOutcome {
+        // Xen's idle loop runs do_softirq(), which asserts !in_irq().
+        if self.percpu[cpu.index()].local_irq_count != 0 {
+            self.raise_panic(cpu, "ASSERT(!in_irq()) failed in idle loop");
+            return StepOutcome::Frozen;
+        }
+        // A runnable pinned vCPU gets switched in by the scheduler.
+        if let Some(v) = self.sched.peek_next(cpu) {
+            let dom = self.domain_of(v);
+            if self.domains[dom.index()].is_active() {
+                let prog = self.build_wakeup_switch(cpu, v);
+                self.push_frame(cpu, prog);
+                return StepOutcome::HvOp;
+            }
+        }
+        // Otherwise sleep until the APIC deadline (or a quantum).
+        let next = self.percpu[cpu.index()]
+            .apic
+            .deadline()
+            .unwrap_or(SimTime::FAR_FUTURE)
+            .min(self.cpu_now[cpu.index()] + self.tuning.idle_quantum);
+        self.advance_to(cpu, next);
+        StepOutcome::Idle
+    }
+
+    fn step_guest(&mut self, cpu: CpuId, vcpu: VcpuId) -> StepOutcome {
+        let dom_id = self.domain_of(vcpu);
+        let i = cpu.index();
+        let now = self.cpu_now[i];
+
+        if !self.domains[dom_id.index()].is_active() {
+            self.advance(cpu, self.tuning.idle_quantum);
+            return StepOutcome::Idle;
+        }
+
+        // Returning to guest with interrupt nesting is an assertion failure
+        // (the exit path checks).
+        if self.percpu[i].local_irq_count != 0 {
+            self.raise_panic(cpu, "ASSERT(!in_irq()) failed on return to guest");
+            return StepOutcome::Frozen;
+        }
+
+        // An uncommitted request: either retry it (recovery asked) or the
+        // vCPU is stuck waiting on a reply that will never come.
+        if self.domains[dom_id.index()].pending.is_some() {
+            let will_retry = self.domains[dom_id.index()]
+                .pending
+                .as_ref()
+                .map(|p| p.will_retry)
+                .unwrap_or(false);
+            if will_retry {
+                if let Some(p) = self.domains[dom_id.index()].pending.as_mut() {
+                    p.will_retry = false;
+                }
+                let prog = self.build_pending_program(cpu, vcpu);
+                self.push_frame(cpu, prog);
+                return StepOutcome::HvOp;
+            }
+            self.advance(cpu, self.tuning.idle_quantum);
+            return StepOutcome::Idle;
+        }
+
+        // Deliver queued paravirtual events to the workload.
+        while let Some(ev) = self.irqs.take_event(dom_id) {
+            self.domains[dom_id.index()].notify(now, GuestNotice::Event(ev));
+        }
+
+        if self.domains[dom_id.index()].finished {
+            self.advance(cpu, self.tuning.idle_quantum);
+            return StepOutcome::Idle;
+        }
+
+        // Ask the workload what the guest does next.
+        let op = {
+            let dom = &mut self.domains[dom_id.index()];
+            let mut program = dom.program.take();
+            let op = program
+                .as_mut()
+                .map(|p| p.next_op(now, &mut self.rng))
+                .unwrap_or(GuestOp::Done);
+            dom.program = program;
+            op
+        };
+
+        match op {
+            GuestOp::Compute(d) => {
+                self.accounting
+                    .charge_guest(cpu, Cycles::from_duration(d, self.config.cpu_freq_mhz));
+                self.advance(cpu, d);
+                StepOutcome::Guest
+            }
+            GuestOp::Hypercall(req) => {
+                self.start_request(cpu, vcpu, PendingKind::Hypercall(req));
+                StepOutcome::HvOp
+            }
+            GuestOp::Syscall => {
+                if self.domains[dom_id.index()].kind == crate::domain::DomainKind::AppHvm {
+                    // HVM: syscalls are handled entirely inside the guest
+                    // (no hypervisor forwarding on the x86-64 PV path).
+                    let d = SimDuration::from_micros(3);
+                    self.accounting
+                        .charge_guest(cpu, Cycles::from_duration(d, self.config.cpu_freq_mhz));
+                    self.advance(cpu, d);
+                    let now = self.cpu_now[i];
+                    self.domains[dom_id.index()].notify(now, GuestNotice::SyscallDone);
+                    StepOutcome::Guest
+                } else {
+                    self.start_request(cpu, vcpu, PendingKind::Syscall);
+                    StepOutcome::HvOp
+                }
+            }
+            GuestOp::Block => {
+                self.start_request(cpu, vcpu, PendingKind::Hypercall(HcRequest::SchedBlock));
+                StepOutcome::HvOp
+            }
+            GuestOp::Done => {
+                self.domains[dom_id.index()].finished = true;
+                self.advance(cpu, self.tuning.idle_quantum);
+                StepOutcome::Idle
+            }
+        }
+    }
+
+    fn start_request(&mut self, cpu: CpuId, vcpu: VcpuId, kind: PendingKind) {
+        let dom_id = self.domain_of(vcpu);
+        let bindings = match &kind {
+            PendingKind::Hypercall(req) => self.bind_request(dom_id, req),
+            PendingKind::Syscall => Vec::new(),
+        };
+        self.domains[dom_id.index()].pending = Some(PendingRequest {
+            kind,
+            bindings,
+            completed_subcalls: 0,
+            will_retry: false,
+        });
+        let prog = self.build_pending_program(cpu, vcpu);
+        self.push_frame(cpu, prog);
+    }
+
+    fn push_frame(&mut self, cpu: CpuId, program: Program) {
+        self.stacks[cpu.index()].push(Frame { program, pc: 0 });
+        self.cpu_mode[cpu.index()] = CpuMode::Hv;
+    }
+
+    // ------------------------------------------------------------------
+    // Request binding: fix the concrete pages a request touches.
+    // ------------------------------------------------------------------
+
+    fn bind_request(&mut self, dom: DomId, req: &HcRequest) -> Vec<Vec<PageNum>> {
+        match req {
+            HcRequest::Multicall(calls) => {
+                let mut out = Vec::with_capacity(calls.len());
+                for c in calls {
+                    let b = self.bind_request(dom, c);
+                    out.push(b.into_iter().next().unwrap_or_default());
+                }
+                out
+            }
+            _ => vec![self.bind_simple(dom, req)],
+        }
+    }
+
+    fn bind_simple(&mut self, dom: DomId, req: &HcRequest) -> Vec<PageNum> {
+        let d = &self.domains[dom.index()];
+        match req {
+            HcRequest::PinPages(n) => {
+                let candidates: Vec<PageNum> = d
+                    .owned_pages
+                    .iter()
+                    .copied()
+                    .filter(|p| !d.pinned_pages.contains(p))
+                    .collect();
+                pick_n(&mut self.rng, &candidates, *n)
+            }
+            HcRequest::UnpinPages(n) => pick_n(&mut self.rng, &d.pinned_pages, *n),
+            HcRequest::MemoryDecrease(n) => {
+                let candidates: Vec<PageNum> = d
+                    .owned_pages
+                    .iter()
+                    .copied()
+                    .filter(|p| !d.pinned_pages.contains(p))
+                    .collect();
+                pick_n(&mut self.rng, &candidates, *n)
+            }
+            HcRequest::GrantMap { from } => {
+                let granter = &self.domains[from.index()];
+                pick_n(&mut self.rng, &granter.owned_pages, 1)
+            }
+            HcRequest::BlockIo { .. } => {
+                // A blkfront request carries up to 11 data segments, each
+                // of which is granted to the driver domain.
+                let candidates: Vec<PageNum> = d
+                    .owned_pages
+                    .iter()
+                    .copied()
+                    .filter(|p| !d.pinned_pages.contains(p))
+                    .collect();
+                pick_n(&mut self.rng, &candidates, 11)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program builders
+    // ------------------------------------------------------------------
+
+    fn build_timer_interrupt(&mut self, cpu: CpuId) -> Program {
+        use MicroOp::*;
+        let i = cpu.index();
+        let now = self.cpu_now[i];
+        let mut ops = vec![EnterIrq, Acquire(self.timer_locks[i])];
+
+        // Collect due events (without popping: pops happen as micro-ops).
+        let due;
+        {
+            // Temporarily drain to inspect; cheaper: rely on peeking one at
+            // a time. We pop due events into a list and re-insert them so
+            // the micro-ops can pop them again during execution.
+            let mut popped = Vec::new();
+            while let Some(ev) = self.timers.pop_due(cpu, now) {
+                popped.push(ev);
+            }
+            for ev in &popped {
+                self.timers.insert(cpu, *ev);
+            }
+            due = popped;
+        }
+
+        let mut sched_tick = false;
+        for ev in &due {
+            ops.push(PopTimerEvent(ev.kind));
+            match ev.kind {
+                TimerEventKind::TimeSync => {
+                    ops.push(Acquire(StaticLock::Time.id()));
+                    ops.push(Compute);
+                    ops.push(TimeSyncApply);
+                    ops.push(Release(StaticLock::Time.id()));
+                }
+                TimerEventKind::WatchdogHeartbeat(_) => {
+                    ops.push(HeartbeatIncrement);
+                }
+                TimerEventKind::SchedTick(_) => {
+                    sched_tick = true;
+                    ops.push(Compute); // tick accounting
+                }
+                TimerEventKind::DomainTimer(v) => {
+                    let dom = self.domain_of(v);
+                    ops.push(PostGuestEvent(dom, GuestEventKind::TimerVirq));
+                    ops.push(UnblockVcpu(v));
+                }
+                TimerEventKind::OneShot(_) => ops.push(Compute),
+            }
+            if let Some(period) = ev.period {
+                ops.push(RearmTimerEvent(ev.kind, period));
+            }
+        }
+
+        ops.push(Release(self.timer_locks[i]));
+        ops.push(ProgramApic);
+
+        if sched_tick {
+            // The scheduler runs off the tick softirq: deschedule the
+            // current vCPU, do the credit accounting and runqueue
+            // manipulation, then schedule the next one. The paper's
+            // torn-metadata window spans that whole region — in Xen the
+            // scheduler is by far the largest consumer of tick time on a
+            // CPU with a running vCPU.
+            let prev = self.sched.current(cpu);
+            // Round-robin: a queued runnable vCPU preempts the current one
+            // (with 1:1 pinning the queue is empty and `prev` re-runs; with
+            // shared CPUs — the paper's future-work configuration — the
+            // sharing vCPUs alternate each tick).
+            let next = self.sched.peek_next(cpu).or(prev);
+            ops.push(Acquire(self.runq_locks[i]));
+            ops.push(SchedConsistencyAssert);
+            ops.push(Compute);
+            if let Some(p) = prev {
+                ops.push(CsSetPercpuCurrent(None));
+                ops.push(CsSetRunningOn(p, None));
+                ops.push(CsSetIsCurrent(p, false));
+                ops.push(EnqueueVcpu(p));
+            }
+            if prev.is_some() || next.is_some() {
+                // Credit accounting, load balancing, runqueue surgery: a
+                // long window in which the metadata is torn.
+                for _ in 0..24 {
+                    ops.push(Compute);
+                }
+            } else {
+                ops.push(Compute); // idle CPU: trivial tick accounting
+            }
+            if let Some(nx) = next {
+                ops.push(DequeueVcpu(nx));
+                ops.push(CsSetPercpuCurrent(Some(nx)));
+                ops.push(CsSetRunningOn(nx, Some(cpu)));
+                ops.push(CsSetIsCurrent(nx, true));
+            }
+            ops.push(Compute); // context-switch tail
+            ops.push(Release(self.runq_locks[i]));
+        }
+
+        // Exit path: stats, softirq bookkeeping, trace buffers, return —
+        // interrupt nesting is the only state still dirty here.
+        for _ in 0..6 {
+            ops.push(Compute);
+        }
+        ops.push(Eoi(crate::interrupts::VEC_TIMER));
+        ops.push(Compute);
+        ops.push(LeaveIrq);
+        Program::new(EntryCause::TimerInterrupt, ops)
+    }
+
+    fn build_net_interrupt(&mut self, _cpu: CpuId) -> Program {
+        use MicroOp::*;
+        let mut ops = vec![EnterIrq, Compute];
+        let (target, backlog) = match &self.net {
+            Some(net) => {
+                let delivered = self.net_delivered_count();
+                (Some(net.target), net.seq.saturating_sub(delivered))
+            }
+            None => (None, 0),
+        };
+        if let Some(dom) = target {
+            let delivered = self.net_delivered_count();
+            for k in 0..backlog {
+                ops.push(PostGuestEvent(
+                    dom,
+                    GuestEventKind::NetRx {
+                        seq: delivered + k + 1,
+                    },
+                ));
+            }
+            let v = self.domains[dom.index()].vcpu;
+            ops.push(UnblockVcpu(v));
+        }
+        ops.push(Eoi(VEC_NET));
+        ops.push(LeaveIrq);
+        Program::new(EntryCause::DeviceInterrupt(VEC_NET), ops)
+    }
+
+    /// Packets delivered (or dropped) so far — the high-water mark of NetRx
+    /// sequence numbers handed to the guest.
+    fn net_delivered_count(&self) -> u64 {
+        self.net.as_ref().map(|n| n.delivered).unwrap_or(0)
+    }
+
+    fn build_wakeup_switch(&mut self, cpu: CpuId, v: VcpuId) -> Program {
+        use MicroOp::*;
+        let ops = vec![
+            AssertNotInIrq,
+            Acquire(self.runq_locks[cpu.index()]),
+            SchedConsistencyAssert,
+            Compute,
+            DequeueVcpu(v),
+            CsSetPercpuCurrent(Some(v)),
+            CsSetRunningOn(v, Some(cpu)),
+            CsSetIsCurrent(v, true),
+            Compute,
+            Release(self.runq_locks[cpu.index()]),
+        ];
+        Program::new(EntryCause::Scheduler, ops)
+    }
+
+    /// Builds (or rebuilds, on retry) the program for a vCPU's pending
+    /// request.
+    fn build_pending_program(&mut self, cpu: CpuId, vcpu: VcpuId) -> Program {
+        let dom_id = self.domain_of(vcpu);
+        let pending = self.domains[dom_id.index()]
+            .pending
+            .clone()
+            .expect("pending request exists");
+        match pending.kind {
+            PendingKind::Syscall => {
+                use MicroOp::*;
+                // Delivery is the final op: in the real hypervisor the
+                // exit path after the result is committed is not a window
+                // in which abandonment loses the request.
+                Program::new(
+                    EntryCause::Syscall(vcpu),
+                    vec![AssertNotInIrq, Compute, Compute, DeliverSyscall],
+                )
+            }
+            PendingKind::Hypercall(ref req) => {
+                let mut ops = vec![MicroOp::AssertNotInIrq, MicroOp::Compute];
+                let logged = self.emit_request_ops(cpu, vcpu, req, &pending, &mut ops);
+                // The exit path runs the SCHEDULE softirq before returning
+                // to the guest: deschedule, account, re-pick. This is a
+                // torn-metadata window on every hypercall exit (SchedBlock
+                // carries its own deschedule instead).
+                if !matches!(req, HcRequest::SchedBlock) {
+                    ops.push(MicroOp::Acquire(self.runq_locks[cpu.index()]));
+                    ops.push(MicroOp::SchedConsistencyAssert);
+                    ops.push(MicroOp::CsSetPercpuCurrent(None));
+                    ops.push(MicroOp::CsSetRunningOn(vcpu, None));
+                    ops.push(MicroOp::CsSetIsCurrent(vcpu, false));
+                    for _ in 0..10 {
+                        ops.push(MicroOp::Compute);
+                    }
+                    ops.push(MicroOp::CsSetPercpuCurrent(Some(vcpu)));
+                    ops.push(MicroOp::CsSetRunningOn(vcpu, Some(cpu)));
+                    ops.push(MicroOp::CsSetIsCurrent(vcpu, true));
+                    ops.push(MicroOp::Release(self.runq_locks[cpu.index()]));
+                }
+                ops.push(MicroOp::CommitHypercall);
+                let mut prog = Program::new(EntryCause::Hypercall(vcpu), ops);
+                prog.logged = logged;
+                prog
+            }
+        }
+    }
+
+    /// Emits the body ops for `req`; returns whether side effects are
+    /// undo-logged.
+    fn emit_request_ops(
+        &mut self,
+        cpu: CpuId,
+        vcpu: VcpuId,
+        req: &HcRequest,
+        pending: &PendingRequest,
+        ops: &mut Vec<MicroOp>,
+    ) -> bool {
+        use MicroOp::*;
+        let dom_id = self.domain_of(vcpu);
+        let binding = |idx: usize| -> &[PageNum] {
+            pending
+                .bindings
+                .get(idx)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[])
+        };
+        match req {
+            HcRequest::PinPages(_) => {
+                let pages = binding(0);
+                let reorder = self.support.reorder_nonidem;
+                let log = self.support.undo_logging;
+                // The counter update logs its undo atomically, but the
+                // validation bit is logged by a separate write — the
+                // one-op gap between the two is the residual vulnerability
+                // window the paper could not fully close (Section IV).
+                if reorder {
+                    // Validate everything first; side effects packed at the
+                    // end (window minimized).
+                    for _ in pages {
+                        ops.push(Compute);
+                        ops.push(Compute);
+                    }
+                    for &p in pages {
+                        ops.push(IncRef(p));
+                        ops.push(SetValidated(p, true));
+                        if log {
+                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(p, false)));
+                        }
+                    }
+                } else {
+                    for &p in pages {
+                        ops.push(IncRef(p));
+                        ops.push(Compute);
+                        ops.push(Compute);
+                        ops.push(SetValidated(p, true));
+                        if log {
+                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(p, false)));
+                        }
+                    }
+                }
+                log
+            }
+            HcRequest::UnpinPages(_) => {
+                let pages = binding(0);
+                let log = self.support.undo_logging;
+                // As in the pin path, the validation-bit change is logged
+                // by a separate write with a one-op vulnerability gap.
+                if self.support.reorder_nonidem {
+                    for _ in pages {
+                        ops.push(Compute);
+                    }
+                    for &p in pages {
+                        ops.push(SetValidated(p, false));
+                        if log {
+                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(p, true)));
+                        }
+                        ops.push(DecRef(p));
+                    }
+                } else {
+                    for &p in pages {
+                        ops.push(SetValidated(p, false));
+                        if log {
+                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(p, true)));
+                        }
+                        ops.push(Compute);
+                        ops.push(DecRef(p));
+                    }
+                }
+                log
+            }
+            HcRequest::MemoryIncrease(n) => {
+                ops.push(Acquire(StaticLock::PageAlloc.id()));
+                for _ in 0..*n {
+                    ops.push(AllocPage(dom_id));
+                    ops.push(Compute);
+                }
+                ops.push(Release(StaticLock::PageAlloc.id()));
+                self.support.undo_logging
+            }
+            HcRequest::MemoryDecrease(_) => {
+                let pages: Vec<PageNum> = binding(0).to_vec();
+                ops.push(Acquire(StaticLock::PageAlloc.id()));
+                if self.support.reorder_nonidem {
+                    for _ in &pages {
+                        ops.push(Compute);
+                    }
+                    for &p in &pages {
+                        ops.push(FreePage(dom_id, p));
+                    }
+                } else {
+                    for &p in &pages {
+                        ops.push(FreePage(dom_id, p));
+                        ops.push(Compute);
+                    }
+                }
+                ops.push(Release(StaticLock::PageAlloc.id()));
+                false // frees cannot be undone
+            }
+            HcRequest::GrantMap { .. } => {
+                // A transient grant map-copy-unmap. Deliberately
+                // un-enhanced (Section IV: "likely to be several
+                // infrequently-used non-idempotent hypercall handlers that
+                // we have not properly enhanced"): a fault between the
+                // IncRef and the DecRef leaks a reference on the granting
+                // domain's page with no undo log to repair it.
+                let pages = binding(0);
+                ops.push(Acquire(StaticLock::Grant.id()));
+                ops.push(Compute);
+                for &p in pages {
+                    ops.push(IncRef(p));
+                    ops.push(Compute);
+                    ops.push(Compute);
+                    ops.push(DecRef(p));
+                }
+                ops.push(Release(StaticLock::Grant.id()));
+                false
+            }
+            HcRequest::EventSend { to, event } => {
+                ops.push(Compute);
+                ops.push(PostGuestEvent(*to, *event));
+                let tv = self.domains[to.index()].vcpu;
+                ops.push(UnblockVcpu(tv));
+                false
+            }
+            HcRequest::ConsoleWrite => {
+                ops.push(Acquire(StaticLock::Console.id()));
+                ops.push(Compute);
+                ops.push(Compute);
+                ops.push(Release(StaticLock::Console.id()));
+                false
+            }
+            HcRequest::SetTimer => {
+                ops.push(Compute);
+                ops.push(Compute);
+                false
+            }
+            HcRequest::XenVersion => {
+                ops.push(Compute);
+                false
+            }
+            HcRequest::SchedBlock => {
+                ops.push(Acquire(self.runq_locks[cpu.index()]));
+                ops.push(CsSetPercpuCurrent(None));
+                ops.push(CsSetRunningOn(vcpu, None));
+                ops.push(CsSetIsCurrent(vcpu, false));
+                ops.push(Release(self.runq_locks[cpu.index()]));
+                false
+            }
+            HcRequest::NetReply(seq) => {
+                ops.push(Compute);
+                ops.push(RecordNetReply(*seq));
+                false
+            }
+            HcRequest::BlockIo { req } => {
+                // The data buffer is granted to the driver domain for the
+                // duration of the request: a reference is taken and dropped
+                // around the notification. These are the hot non-idempotent
+                // updates BlkBench stresses — they are covered by the undo
+                // logging, which is why BlkBench shows the highest
+                // normal-operation overhead in Figure 3.
+                let pages = binding(0);
+                ops.push(Compute);
+                for &p in pages {
+                    ops.push(IncRef(p));
+                }
+                ops.push(Compute);
+                ops.push(PostGuestEvent(
+                    DomId::PRIV,
+                    GuestEventKind::BlkRequest {
+                        from: dom_id,
+                        req: *req,
+                    },
+                ));
+                let pv = self.domains[DomId::PRIV.index()].vcpu;
+                ops.push(UnblockVcpu(pv));
+                for &p in pages {
+                    ops.push(DecRef(p));
+                }
+                self.support.undo_logging
+            }
+            HcRequest::PhysdevRoute(vec, cpu_target) => {
+                ops.push(Compute);
+                ops.push(IoapicWrite(*vec, Some(*cpu_target)));
+                false
+            }
+            HcRequest::DomctlCreate => {
+                let new_id = self.reserve_building_domain();
+                ops.push(Acquire(StaticLock::Domctl.id()));
+                ops.push(Compute);
+                ops.push(Compute);
+                if let Some(id) = new_id {
+                    ops.push(Acquire(StaticLock::PageAlloc.id()));
+                    ops.push(BuildDomain(id));
+                    ops.push(Release(StaticLock::PageAlloc.id()));
+                    ops.push(Compute);
+                    ops.push(Compute);
+                    ops.push(FinalizeDomain(id));
+                }
+                ops.push(Release(StaticLock::Domctl.id()));
+                false
+            }
+            HcRequest::DomctlDestroy(target) => {
+                ops.push(Acquire(StaticLock::Domctl.id()));
+                ops.push(Compute);
+                ops.push(TeardownDomain(*target));
+                ops.push(Release(StaticLock::Domctl.id()));
+                false
+            }
+            HcRequest::Multicall(calls) => {
+                let skip = pending.completed_subcalls;
+                let mut any_logged = false;
+                for (idx, c) in calls.iter().enumerate() {
+                    if idx < skip {
+                        continue;
+                    }
+                    let sub_binding = PendingRequest {
+                        kind: PendingKind::Hypercall(c.clone()),
+                        bindings: vec![pending.bindings.get(idx).cloned().unwrap_or_default()],
+                        completed_subcalls: 0,
+                        will_retry: false,
+                    };
+                    any_logged |= self.emit_request_ops(cpu, vcpu, c, &sub_binding, ops);
+                    if self.support.batched_completion_log {
+                        ops.push(LogCompletion(idx));
+                    }
+                }
+                any_logged
+            }
+        }
+    }
+
+    /// Reserves (or finds the existing) domain shell for an in-progress
+    /// `domctl` create; pops the next specification from the queue.
+    fn reserve_building_domain(&mut self) -> Option<DomId> {
+        // A retried create reuses the shell it already reserved.
+        if let Some(d) = self
+            .domains
+            .iter()
+            .find(|d| d.state == DomainState::Building)
+        {
+            return Some(d.id);
+        }
+        let spec = self.create_queue.pop_front()?;
+        let id = DomId::from_index(self.domains.len());
+        let vcpu = VcpuId::from_index(self.vcpu_dom.len());
+        let mut dom = Domain::new(id, spec.kind, vcpu, spec.pinned_cpu);
+        dom.target_pages = spec.pages;
+        dom.program = Some(spec.program);
+        self.vcpu_dom.push(id);
+        self.domains.push(dom);
+        Some(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Micro-op execution
+    // ------------------------------------------------------------------
+
+    fn step_hv(&mut self, cpu: CpuId) -> StepOutcome {
+        let i = cpu.index();
+        let frame = match self.stacks[i].last() {
+            Some(f) => f,
+            None => {
+                self.cpu_mode[i] = CpuMode::Run;
+                return StepOutcome::Idle;
+            }
+        };
+        if frame.pc >= frame.program.ops.len() {
+            self.stacks[i].pop();
+            if self.stacks[i].is_empty() {
+                self.cpu_mode[i] = CpuMode::Run;
+            }
+            return StepOutcome::HvOp;
+        }
+        let op = frame.program.ops[frame.pc].clone();
+        let cause = frame.program.cause;
+        let logged = frame.program.logged;
+
+        let mut log_cycles = Cycles::ZERO;
+        let mut advance_pc = true;
+
+        match op {
+            MicroOp::Compute => {}
+            MicroOp::AssertNotInIrq => {
+                if self.percpu[i].local_irq_count != 0 {
+                    self.raise_panic(cpu, "ASSERT(!in_irq()) failed");
+                }
+            }
+            MicroOp::EnterIrq => self.percpu[i].local_irq_count += 1,
+            MicroOp::LeaveIrq => {
+                if self.percpu[i].local_irq_count == 0 {
+                    self.raise_panic(cpu, "local_irq_count underflow");
+                } else {
+                    self.percpu[i].local_irq_count -= 1;
+                }
+            }
+            MicroOp::Acquire(l) => match self.locks.acquire(l, cpu) {
+                AcquireOutcome::Acquired => {}
+                AcquireOutcome::Contended(_) => advance_pc = false, // spin
+            },
+            MicroOp::Release(l) => self.locks.release(l),
+            MicroOp::IncRef(p) => {
+                if let Err(e) = self.pft.inc_ref(p) {
+                    self.raise_panic(cpu, format!("BUG: {e}"));
+                } else if logged && self.support.undo_logging {
+                    if let Some(v) = cause.vcpu() {
+                        self.undo_log.push((v, UndoEntry::DecRef(p)));
+                        log_cycles = Cycles(self.tuning.cycles_per_log_write);
+                    }
+                }
+            }
+            MicroOp::DecRef(p) => {
+                if let Err(e) = self.pft.dec_ref(p) {
+                    self.raise_panic(cpu, format!("BUG: {e}"));
+                } else if logged && self.support.undo_logging {
+                    if let Some(v) = cause.vcpu() {
+                        self.undo_log.push((v, UndoEntry::IncRef(p)));
+                        log_cycles = Cycles(self.tuning.cycles_per_log_write);
+                    }
+                }
+            }
+            MicroOp::SetValidated(p, val) => {
+                let old = self.pft.get(p).map(|d| d.validated).unwrap_or(false);
+                if val && old && cause.vcpu().is_some() {
+                    // Xen BUG(): validating an already-validated page —
+                    // the signature of a retried pin whose first execution
+                    // was abandoned after the bit was set but before the
+                    // undo-log write.
+                    self.raise_panic(cpu, format!("BUG: page {p} already validated"));
+                } else if let Err(e) = self.pft.set_validated(p, val) {
+                    self.raise_panic(cpu, format!("BUG: {e}"));
+                }
+            }
+            MicroOp::LogUndo(entry) => {
+                if logged && self.support.undo_logging {
+                    if let Some(v) = cause.vcpu() {
+                        self.undo_log.push((v, entry));
+                        log_cycles = Cycles(self.tuning.cycles_per_log_write);
+                    }
+                }
+            }
+            MicroOp::AllocPage(dom) => match self.pft.alloc(Some(dom), PageState::DomainOwned) {
+                Ok(p) => {
+                    self.domains[dom.index()].owned_pages.push(p);
+                    if logged && self.support.undo_logging {
+                        if let Some(v) = cause.vcpu() {
+                            self.undo_log.push((v, UndoEntry::UnallocPage(p)));
+                            log_cycles = Cycles(self.tuning.cycles_per_log_write);
+                        }
+                    }
+                }
+                Err(e) => self.raise_panic(cpu, format!("BUG in page allocator: {e}")),
+            },
+            MicroOp::FreePage(dom, p) => {
+                self.domains[dom.index()].owned_pages.retain(|x| *x != p);
+                if let Err(e) = self.pft.free(p) {
+                    self.raise_panic(cpu, format!("BUG in page free: {e}"));
+                }
+            }
+            MicroOp::PopTimerEvent(kind) => {
+                self.timers.remove_kind(kind);
+            }
+            MicroOp::RearmTimerEvent(kind, period) => {
+                let now = self.cpu_now[i];
+                self.timers.insert(
+                    cpu,
+                    TimerEvent {
+                        deadline: now + period,
+                        kind,
+                        period: Some(period),
+                    },
+                );
+            }
+            MicroOp::TimeSyncApply => {
+                if self.boot_scratch_corrupted {
+                    self.raise_panic(cpu, "BUG: corrupted platform time records");
+                } else {
+                    self.last_time_sync = self.cpu_now[i];
+                }
+            }
+            MicroOp::HeartbeatIncrement => self.percpu[i].watchdog.heartbeat += 1,
+            MicroOp::PostGuestEvent(dom, ev) => {
+                let over_ring = matches!(ev, GuestEventKind::NetRx { .. })
+                    && self
+                        .net
+                        .as_ref()
+                        .map(|n| self.irqs.pending_events(dom) >= n.ring_capacity)
+                        .unwrap_or(false);
+                if over_ring {
+                    if let Some(n) = self.net.as_mut() {
+                        n.drops += 1;
+                        n.delivered += 1;
+                    }
+                } else {
+                    if let GuestEventKind::NetRx { .. } = ev {
+                        if let Some(n) = self.net.as_mut() {
+                            n.delivered += 1;
+                        }
+                    }
+                    self.irqs.post_event(dom, ev);
+                }
+            }
+            MicroOp::ProgramApic => {
+                let now = self.cpu_now[i];
+                let deadline = self
+                    .timers
+                    .peek_deadline(cpu)
+                    .unwrap_or(now + self.tuning.tick_period)
+                    .max(now + SimDuration::from_micros(1));
+                self.percpu[i].apic.program(deadline);
+            }
+            MicroOp::CsSetPercpuCurrent(v) => self.sched.cs_set_percpu_current(cpu, v),
+            MicroOp::CsSetRunningOn(v, c) => self.sched.cs_set_running_on(v, c),
+            MicroOp::CsSetIsCurrent(v, b) => self.sched.cs_set_is_current(v, b),
+            MicroOp::SchedConsistencyAssert => {
+                if let Err(inc) = self.sched.check_consistency(cpu) {
+                    self.raise_panic(cpu, format!("ASSERT in schedule(): {}", inc.detail));
+                }
+            }
+            MicroOp::CommitHypercall => {
+                if let Some(v) = cause.vcpu() {
+                    self.commit_hypercall(cpu, v);
+                }
+            }
+            MicroOp::LogCompletion(idx) => {
+                if let Some(v) = cause.vcpu() {
+                    let dom = self.domain_of(v);
+                    if let Some(p) = self.domains[dom.index()].pending.as_mut() {
+                        p.completed_subcalls = idx + 1;
+                    }
+                    self.undo_log.retain(|(vc, _)| *vc != v);
+                    log_cycles = Cycles(self.tuning.cycles_per_completion_log);
+                }
+            }
+            MicroOp::DeliverSyscall => {
+                if let Some(v) = cause.vcpu() {
+                    let dom = self.domain_of(v);
+                    let now = self.cpu_now[i];
+                    self.domains[dom.index()].pending = None;
+                    self.domains[dom.index()].notify(now, GuestNotice::SyscallDone);
+                }
+            }
+            MicroOp::Eoi(vec) => self.irqs.eoi(cpu, vec),
+            MicroOp::IoapicWrite(vec, route) => {
+                self.irqs.ioapic_write(vec, route);
+                if self.support.ioapic_write_log {
+                    self.ioapic_log = Some(self.irqs.ioapic_snapshot());
+                    log_cycles = Cycles(self.tuning.cycles_per_log_write);
+                }
+            }
+            MicroOp::BuildDomain(dom) => {
+                let target = self.domains[dom.index()].target_pages;
+                let have = self.domains[dom.index()].owned_pages.len();
+                for _ in have..target {
+                    match self.pft.alloc(Some(dom), PageState::DomainOwned) {
+                        Ok(p) => self.domains[dom.index()].owned_pages.push(p),
+                        Err(e) => {
+                            self.raise_panic(cpu, format!("BUG building domain: {e}"));
+                            break;
+                        }
+                    }
+                }
+            }
+            MicroOp::FinalizeDomain(dom) => {
+                let vcpu = self.domains[dom.index()].vcpu;
+                let pinned = self.domains[dom.index()].pinned_cpu;
+                if self.sched.num_vcpus() <= vcpu.index() {
+                    self.sched.register_vcpu(vcpu, pinned);
+                    self.timers.insert(
+                        pinned,
+                        TimerEvent {
+                            deadline: self.cpu_now[i] + self.tuning.tick_period,
+                            kind: TimerEventKind::DomainTimer(vcpu),
+                            period: Some(self.tuning.tick_period),
+                        },
+                    );
+                }
+                self.irqs.ensure_domain(dom);
+                self.domains[dom.index()].state = DomainState::Active;
+            }
+            MicroOp::TeardownDomain(dom) => {
+                self.teardown_domain(cpu, dom);
+            }
+            MicroOp::UnblockVcpu(v) => {
+                let dom = self.domain_of(v);
+                if self.domains[dom.index()].is_active() && self.domains[dom.index()].blocked {
+                    self.domains[dom.index()].blocked = false;
+                    self.sched.enqueue(v);
+                }
+            }
+            MicroOp::EnqueueVcpu(v) => {
+                let dom = self.domain_of(v);
+                if self.domains[dom.index()].is_active() && !self.domains[dom.index()].blocked {
+                    self.sched.enqueue(v);
+                }
+            }
+            MicroOp::DequeueVcpu(v) => self.sched.dequeue(v),
+            MicroOp::RecordNetReply(seq) => {
+                let now = self.cpu_now[i];
+                self.net_replies.push((seq, now));
+            }
+        }
+
+        // Charge cycles and advance. Pure log writes are a store plus a
+        // pointer bump, far cheaper than a full micro-op.
+        let is_log_op = matches!(op, MicroOp::LogUndo(_) | MicroOp::LogCompletion(_));
+        let base = if is_log_op {
+            Cycles(150) + log_cycles
+        } else {
+            Cycles(self.tuning.cycles_per_micro_op) + log_cycles
+        };
+        self.accounting.charge_hv(cpu, base, log_cycles);
+        self.advance(cpu, base.to_duration(self.config.cpu_freq_mhz));
+
+        if self.detection.is_some() {
+            return StepOutcome::Frozen;
+        }
+
+        if advance_pc {
+            if let Some(f) = self.stacks[i].last_mut() {
+                f.pc += 1;
+                if f.pc >= f.program.ops.len() {
+                    self.stacks[i].pop();
+                    if self.stacks[i].is_empty() {
+                        self.cpu_mode[i] = CpuMode::Run;
+                    }
+                }
+            }
+        }
+        StepOutcome::HvOp
+    }
+
+    fn commit_hypercall(&mut self, cpu: CpuId, vcpu: VcpuId) {
+        let dom_id = self.domain_of(vcpu);
+        let now = self.cpu_now[cpu.index()];
+        let pending = match self.domains[dom_id.index()].pending.take() {
+            Some(p) => p,
+            None => return,
+        };
+        // Request-specific completion bookkeeping. Multicalls apply the
+        // guest-side pin bookkeeping of every sub-call.
+        if let PendingKind::Hypercall(req) = &pending.kind {
+            if let HcRequest::Multicall(calls) = req {
+                for (idx, sub) in calls.iter().enumerate() {
+                    let binding = pending.bindings.get(idx).cloned().unwrap_or_default();
+                    self.apply_pin_bookkeeping(dom_id, sub, &binding);
+                }
+            } else {
+                let binding = pending.bindings.first().cloned().unwrap_or_default();
+                self.apply_pin_bookkeeping(dom_id, req, &binding);
+            }
+            if req == &HcRequest::SchedBlock {
+                // Block only if no event snuck in meanwhile.
+                if self.irqs.pending_events(dom_id) == 0 {
+                    self.domains[dom_id.index()].blocked = true;
+                    self.sched.block(vcpu);
+                    // The vCPU leaves the CPU: make the percpu slot
+                    // consistent (the handler's Cs ops already did).
+                } else {
+                    // Events pending: stay runnable and current.
+                    self.sched.cs_set_percpu_current(cpu, Some(vcpu));
+                    self.sched.cs_set_running_on(vcpu, Some(cpu));
+                    self.sched.cs_set_is_current(vcpu, true);
+                }
+            }
+        }
+        // The undo log for this vCPU is dead once the hypercall commits.
+        self.undo_log.retain(|(v, _)| *v != vcpu);
+        self.domains[dom_id.index()].notify(now, GuestNotice::HypercallDone { ok: true });
+    }
+
+    /// Applies the guest-side pin-list bookkeeping for a completed request.
+    fn apply_pin_bookkeeping(&mut self, dom_id: DomId, req: &HcRequest, binding: &[PageNum]) {
+        match req {
+            HcRequest::PinPages(_) => {
+                let d = &mut self.domains[dom_id.index()];
+                for p in binding {
+                    if !d.pinned_pages.contains(p) {
+                        d.pinned_pages.push(*p);
+                    }
+                }
+            }
+            HcRequest::UnpinPages(_) => {
+                self.domains[dom_id.index()]
+                    .pinned_pages
+                    .retain(|p| !binding.contains(p));
+            }
+            _ => {}
+        }
+    }
+
+    fn teardown_domain(&mut self, cpu: CpuId, dom: DomId) {
+        // Drop pin references first (each pinned page holds one reference
+        // and its validation bit).
+        let pinned = std::mem::take(&mut self.domains[dom.index()].pinned_pages);
+        for p in pinned {
+            if let Err(e) = self.pft.set_validated(p, false) {
+                self.raise_panic(cpu, format!("BUG tearing down domain: {e}"));
+                return;
+            }
+            if let Err(e) = self.pft.dec_ref(p) {
+                self.raise_panic(cpu, format!("BUG tearing down domain: {e}"));
+                return;
+            }
+        }
+        let owned = std::mem::take(&mut self.domains[dom.index()].owned_pages);
+        for p in owned {
+            if let Err(e) = self.pft.free(p) {
+                // A stray reference from a double-applied retry manifests
+                // here, exactly as Xen's BUG_ON(page_get_owner...) would.
+                self.raise_panic(cpu, format!("BUG freeing domain memory: {e}"));
+                return;
+            }
+        }
+        let vcpu = self.domains[dom.index()].vcpu;
+        self.sched.offline_vcpus(&[vcpu]);
+        self.irqs.clear_domain(dom);
+        self.domains[dom.index()].state = DomainState::Destroyed;
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery support (called by the `nlh-core` mechanisms)
+    // ------------------------------------------------------------------
+
+    /// Discards every hypervisor execution thread (microreset's core step)
+    /// and parks all CPUs in the recovery busy-wait. The partial effects of
+    /// the discarded programs remain in place — that residue is what the
+    /// recovery enhancements must repair.
+    pub fn discard_all_stacks(&mut self) -> AbandonReport {
+        let mut frames = 0;
+        let mut in_hv = Vec::new();
+        for i in 0..self.stacks.len() {
+            for f in &self.stacks[i] {
+                frames += 1;
+                if let Some(v) = f.program.cause.vcpu() {
+                    in_hv.push(v);
+                }
+            }
+            self.stacks[i].clear();
+            self.cpu_mode[i] = CpuMode::Parked;
+            self.percpu[i].interrupts_disabled = true;
+        }
+        // vCPUs whose request was in flight but whose CPU had already been
+        // wedged/abandoned also count as "in the hypervisor".
+        for d in &self.domains {
+            if d.pending.is_some() && !in_hv.contains(&d.vcpu) {
+                in_hv.push(d.vcpu);
+            }
+        }
+        AbandonReport {
+            frames_discarded: frames,
+            in_hv_vcpus: in_hv,
+            held_locks: self.locks.held_locks(),
+        }
+    }
+
+    /// Saves the FS/GS of every vCPU currently loaded on a CPU (the
+    /// "Save FS/GS" enhancement runs this when the error is detected).
+    pub fn save_fsgs_all(&mut self) {
+        for cpu in 0..self.num_cpus() {
+            let c = CpuId::from_index(cpu);
+            if let Some(v) = self.sched.current(c) {
+                let dom = self.domain_of(v);
+                self.percpu[cpu].saved_fs_gs = Some(self.domains[dom.index()].fs_gs);
+            }
+        }
+    }
+
+    /// Applies the FS/GS consequence at the end of recovery: vCPUs that
+    /// were inside the hypervisor either get their registers restored from
+    /// the save area or have them clobbered.
+    pub fn finish_fsgs(&mut self, in_hv_vcpus: &[VcpuId], saved: bool) {
+        let now = self.now_max();
+        for &v in in_hv_vcpus {
+            let dom = self.domain_of(v);
+            if !saved {
+                self.domains[dom.index()].fs_gs = (0, 0);
+                self.domains[dom.index()].notify(now, GuestNotice::TlsClobbered);
+            }
+        }
+        for pc in &mut self.percpu {
+            pc.saved_fs_gs = None;
+        }
+    }
+
+    /// Applies (and drains) the undo log for every vCPU with an uncommitted
+    /// request — reverting the partial side effects of abandoned
+    /// non-idempotent hypercalls before they are retried.
+    pub fn apply_undo_log(&mut self) -> usize {
+        let entries = std::mem::take(&mut self.undo_log);
+        let n = entries.len();
+        for (_, entry) in entries.into_iter().rev() {
+            match entry {
+                UndoEntry::DecRef(p) => {
+                    let _ = self.pft.dec_ref(p);
+                }
+                UndoEntry::IncRef(p) => {
+                    let _ = self.pft.inc_ref(p);
+                }
+                UndoEntry::SetValidated(p, v) => {
+                    let _ = self.pft.set_validated(p, v);
+                }
+                UndoEntry::UnallocPage(p) => {
+                    // Remove from whichever domain got it, then free.
+                    for d in &mut self.domains {
+                        d.owned_pages.retain(|x| *x != p);
+                    }
+                    let _ = self.pft.free(p);
+                }
+            }
+        }
+        n
+    }
+
+    /// Discards the hypervisor execution thread of a single CPU (the
+    /// alternative design choice discussed in Section III-C: discard only
+    /// the thread of the CPU that detected the error). Other CPUs keep
+    /// their in-flight programs and resume them after recovery.
+    pub fn discard_one_stack(&mut self, cpu: CpuId) -> AbandonReport {
+        let i = cpu.index();
+        let mut in_hv = Vec::new();
+        let frames = self.stacks[i].len();
+        for f in &self.stacks[i] {
+            if let Some(v) = f.program.cause.vcpu() {
+                in_hv.push(v);
+            }
+        }
+        self.stacks[i].clear();
+        for c in 0..self.num_cpus() {
+            self.cpu_mode[c] = CpuMode::Parked;
+            self.percpu[c].interrupts_disabled = true;
+        }
+        AbandonReport {
+            frames_discarded: frames,
+            in_hv_vcpus: in_hv,
+            held_locks: self.locks.held_locks(),
+        }
+    }
+
+    /// Resumes normal operation after recovery: synchronizes all CPU clocks
+    /// to `max + latency`, clears modes/detection, resets the watchdog.
+    /// CPUs whose hypervisor stack still holds frames (the
+    /// discard-faulting-only policy) resume executing them.
+    pub fn resume_after(&mut self, latency: SimDuration) {
+        let resume_at = self.now_max() + latency;
+        for i in 0..self.num_cpus() {
+            self.cpu_now[i] = resume_at;
+            self.cpu_mode[i] = if self.stacks[i].is_empty() {
+                CpuMode::Run
+            } else {
+                CpuMode::Hv
+            };
+            self.percpu[i].interrupts_disabled = false;
+            self.percpu[i]
+                .watchdog
+                .reset(resume_at, self.tuning.watchdog_nmi_period);
+        }
+        self.detection = None;
+        self.trace.record(
+            resume_at,
+            TraceLevel::Event,
+            format!("resumed after recovery ({latency})"),
+        );
+    }
+
+    /// Reprograms every CPU's APIC timer from its software timer heap
+    /// (NiLiHype's "reprogram hardware timer" enhancement; ReHype gets this
+    /// from the reboot).
+    pub fn reprogram_all_apics(&mut self) {
+        for cpu in 0..self.num_cpus() {
+            let c = CpuId::from_index(cpu);
+            let now = self.cpu_now[cpu];
+            let deadline = self
+                .timers
+                .peek_deadline(c)
+                .unwrap_or(now + self.tuning.tick_period)
+                .max(now + SimDuration::from_micros(1));
+            self.percpu[cpu].apic.program(deadline);
+        }
+    }
+}
+
+/// Picks up to `n` distinct elements from `pool` (fewer if the pool is
+/// small).
+fn pick_n(rng: &mut Pcg64, pool: &[PageNum], n: usize) -> Vec<PageNum> {
+    if pool.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    if pool.len() <= n {
+        return pool.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    rng.shuffle(&mut idx);
+    idx.truncate(n);
+    idx.into_iter().map(|i| pool[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{DomainKind, IdleLoop};
+
+    fn small_hv() -> Hypervisor {
+        Hypervisor::new(MachineConfig::small(), 7)
+    }
+
+    fn app_spec(cpu: usize) -> DomainSpec {
+        DomainSpec {
+            kind: DomainKind::App,
+            pages: 64,
+            pinned_cpu: CpuId::from_index(cpu),
+            program: Box::new(IdleLoop),
+        }
+    }
+
+    #[test]
+    fn boots_and_ticks_without_domains() {
+        let mut hv = small_hv();
+        hv.run_for(SimDuration::from_millis(250));
+        assert!(hv.detection().is_none());
+        // Heartbeats ran on every CPU.
+        for cpu in 0..hv.num_cpus() {
+            assert!(hv.percpu[cpu].watchdog.heartbeat >= 2, "cpu{cpu} heartbeat");
+        }
+        // Time sync ran.
+        assert!(hv.last_time_sync > SimTime::ZERO);
+    }
+
+    #[test]
+    fn apic_always_reprogrammed_by_handler() {
+        let mut hv = small_hv();
+        hv.run_for(SimDuration::from_millis(100));
+        for cpu in 0..hv.num_cpus() {
+            assert!(
+                hv.percpu[cpu].apic.is_programmed(),
+                "cpu{cpu} APIC must stay armed in steady state"
+            );
+        }
+    }
+
+    #[test]
+    fn domains_run_and_stay_consistent() {
+        let mut hv = small_hv();
+        hv.add_boot_domain(DomainSpec {
+            kind: DomainKind::Priv,
+            pages: 32,
+            pinned_cpu: CpuId(0),
+            program: Box::new(IdleLoop),
+        });
+        hv.add_boot_domain(app_spec(1));
+        hv.run_for(SimDuration::from_millis(200));
+        assert!(hv.detection().is_none());
+        assert!(hv.sched.check_all().is_ok());
+        assert_eq!(hv.pft.count_inconsistent(), 0);
+        assert!(hv.locks.held_locks().is_empty(), "steady state holds no locks");
+        for cpu in 0..hv.num_cpus() {
+            assert_eq!(hv.percpu[cpu].local_irq_count, 0);
+        }
+    }
+
+    #[test]
+    fn guest_cycles_dominate_hypervisor_cycles() {
+        let mut hv = small_hv();
+        hv.add_boot_domain(app_spec(1));
+        hv.run_for(SimDuration::from_millis(300));
+        let share = hv.accounting.hypervisor_share();
+        assert!(share > 0.0 && share < 0.30, "hv share = {share}");
+    }
+
+    #[test]
+    fn discard_stacks_reports_in_flight_work() {
+        let mut hv = small_hv();
+        hv.add_boot_domain(app_spec(1));
+        // Step until some CPU is mid-program.
+        let mut guard = 0;
+        while hv.stacks.iter().all(|s| s.is_empty()) && guard < 200_000 {
+            hv.step_any();
+            guard += 1;
+        }
+        assert!(guard < 200_000, "never entered the hypervisor");
+        let report = hv.discard_all_stacks();
+        assert!(report.frames_discarded >= 1);
+        for i in 0..hv.num_cpus() {
+            assert_eq!(hv.cpu_mode(CpuId::from_index(i)), CpuMode::Parked);
+            assert!(hv.stacks[i].is_empty());
+        }
+    }
+
+    #[test]
+    fn resume_after_synchronizes_clocks_and_clears_detection() {
+        let mut hv = small_hv();
+        hv.raise_panic(CpuId(2), "test");
+        assert!(hv.detection().is_some());
+        hv.discard_all_stacks();
+        hv.resume_after(SimDuration::from_millis(22));
+        assert!(hv.detection().is_none());
+        let t0 = hv.cpu_now(CpuId(0));
+        for cpu in 1..hv.num_cpus() {
+            assert_eq!(hv.cpu_now(CpuId::from_index(cpu)), t0);
+        }
+        for i in 0..hv.num_cpus() {
+            assert_eq!(hv.cpu_mode(CpuId::from_index(i)), CpuMode::Run);
+        }
+    }
+
+    #[test]
+    fn first_detection_wins() {
+        let mut hv = small_hv();
+        hv.raise_panic(CpuId(0), "first");
+        hv.raise_hang(CpuId(1), "second");
+        assert_eq!(hv.detection().unwrap().reason, "first");
+        assert_eq!(hv.detection().unwrap().kind, DetectionKind::Panic);
+    }
+
+    #[test]
+    fn frozen_machine_does_not_step() {
+        let mut hv = small_hv();
+        hv.raise_panic(CpuId(0), "frozen");
+        let before = hv.now();
+        let (_, out) = hv.step_any();
+        assert_eq!(out, StepOutcome::Frozen);
+        assert_eq!(hv.now(), before);
+    }
+
+    #[test]
+    fn unprogrammed_apic_leads_to_watchdog_hang() {
+        let mut hv = small_hv();
+        // Disarm CPU 3's APIC: its heartbeat events can never run.
+        hv.percpu[3].apic.disarm();
+        hv.run_for(SimDuration::from_secs(2));
+        let det = hv.detection().expect("watchdog should fire");
+        assert_eq!(det.kind, DetectionKind::Hang);
+        assert_eq!(det.cpu, CpuId(3));
+    }
+
+    #[test]
+    fn held_timer_lock_leads_to_hang() {
+        let mut hv = small_hv();
+        // Leak CPU 2's timer-heap lock, as an abandoned thread would.
+        let l = hv.timer_locks[2];
+        hv.locks.acquire(l, CpuId(5));
+        hv.run_for(SimDuration::from_secs(2));
+        let det = hv.detection().expect("spin on leaked lock must hang");
+        assert_eq!(det.kind, DetectionKind::Hang);
+    }
+
+    #[test]
+    fn leaked_irq_count_panics_on_next_tick() {
+        let mut hv = small_hv();
+        hv.percpu[4].local_irq_count = 1; // abandonment residue
+        hv.run_for(SimDuration::from_secs(1));
+        let det = hv.detection().expect("exit-path assert must fire");
+        assert_eq!(det.kind, DetectionKind::Panic);
+        assert!(det.reason.contains("in_irq"));
+    }
+
+    #[test]
+    fn lost_heartbeat_event_false_hang() {
+        let mut hv = small_hv();
+        // Model a popped-but-not-rearmed heartbeat on CPU 1.
+        assert!(hv
+            .timers
+            .remove_kind(TimerEventKind::WatchdogHeartbeat(CpuId(1))));
+        hv.run_for(SimDuration::from_secs(2));
+        let det = hv.detection().expect("watchdog false positive");
+        assert_eq!(det.kind, DetectionKind::Hang);
+        assert_eq!(det.cpu, CpuId(1));
+    }
+
+    #[test]
+    fn torn_context_switch_panics_via_assert() {
+        let mut hv = small_hv();
+        hv.add_boot_domain(app_spec(1));
+        // Tear the metadata, as a fault mid-switch would.
+        hv.sched.cs_set_running_on(VcpuId(0), None);
+        hv.run_for(SimDuration::from_millis(100));
+        let det = hv.detection().expect("sched assert must fire");
+        assert!(det.reason.contains("schedule"), "{}", det.reason);
+    }
+
+    #[test]
+    fn netbench_traffic_flows_and_replies_recorded() {
+        use crate::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
+        /// Minimal echo guest: replies to each NetRx.
+        #[derive(Debug)]
+        struct Echo {
+            backlog: Vec<u64>,
+        }
+        impl GuestProgram for Echo {
+            fn name(&self) -> &str {
+                "Echo"
+            }
+            fn next_op(&mut self, _now: SimTime, _rng: &mut Pcg64) -> GuestOp {
+                match self.backlog.pop() {
+                    Some(seq) => GuestOp::Hypercall(HcRequest::NetReply(seq)),
+                    None => GuestOp::Block,
+                }
+            }
+            fn notice(&mut self, _now: SimTime, n: GuestNotice) {
+                if let GuestNotice::Event(GuestEventKind::NetRx { seq }) = n {
+                    self.backlog.push(seq);
+                }
+            }
+            fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
+                WorkloadVerdict::Running
+            }
+        }
+        let mut hv = small_hv();
+        let dom = hv.add_boot_domain(DomainSpec {
+            kind: DomainKind::App,
+            pages: 16,
+            pinned_cpu: CpuId(1),
+            program: Box::new(Echo { backlog: vec![] }),
+        });
+        hv.attach_net_traffic(dom, SimDuration::from_millis(1));
+        hv.run_for(SimDuration::from_millis(300));
+        assert!(hv.detection().is_none());
+        assert!(
+            hv.net_replies.len() > 200,
+            "expected ~300 replies, got {}",
+            hv.net_replies.len()
+        );
+        assert_eq!(hv.net.as_ref().unwrap().drops, 0);
+    }
+
+    #[test]
+    fn pick_n_properties() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let pool: Vec<PageNum> = (0..10).map(PageNum::from_index).collect();
+        let picked = pick_n(&mut rng, &pool, 4);
+        assert_eq!(picked.len(), 4);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "no duplicates");
+        assert!(pick_n(&mut rng, &pool, 0).is_empty());
+        assert_eq!(pick_n(&mut rng, &pool, 99).len(), 10);
+        assert!(pick_n(&mut rng, &[], 3).is_empty());
+    }
+}

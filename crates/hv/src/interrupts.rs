@@ -1,0 +1,282 @@
+//! Interrupt-controller and event-channel state.
+//!
+//! Three pieces matter to recovery:
+//!
+//! * **Pending / in-service vectors.** A fault while an interrupt is in
+//!   service leaves it un-acknowledged; the local APIC then blocks further
+//!   delivery of that vector. Both mechanisms run the shared "acknowledge
+//!   pending and in-service interrupts" enhancement (Section III-B).
+//! * **I/O APIC redirection registers.** ReHype's reboot re-initializes
+//!   them, so ReHype must log writes during normal operation and replay the
+//!   log during recovery (Section VII-D) — one of the two logs NiLiHype does
+//!   not need.
+//! * **Event channels** — the paravirtual notification path from the
+//!   hypervisor/PrivVM to guests (network receive, block completion,
+//!   virtual timer).
+
+use std::collections::VecDeque;
+
+use nlh_sim::{CpuId, DomId, IrqVector};
+use serde::{Deserialize, Serialize};
+
+/// Paravirtual event kinds delivered over event channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuestEventKind {
+    /// A network packet arrived (NetBench traffic).
+    NetRx {
+        /// Sender-side sequence number of the packet.
+        seq: u64,
+    },
+    /// A block I/O request completed (BlkBench traffic).
+    BlkComplete {
+        /// Request id.
+        req: u64,
+    },
+    /// A block I/O request arrived at the PrivVM's driver domain.
+    BlkRequest {
+        /// The requesting domain.
+        from: DomId,
+        /// Request id.
+        req: u64,
+    },
+    /// The domain's periodic virtual timer fired.
+    TimerVirq,
+}
+
+/// Number of distinct hardware vectors the simulation models.
+pub const NUM_VECTORS: usize = 4;
+
+/// The timer vector (local APIC timer).
+pub const VEC_TIMER: IrqVector = IrqVector(0);
+/// The network device vector.
+pub const VEC_NET: IrqVector = IrqVector(1);
+/// The block device vector.
+pub const VEC_BLK: IrqVector = IrqVector(2);
+/// The inter-processor-interrupt vector.
+pub const VEC_IPI: IrqVector = IrqVector(3);
+
+/// Interrupt-controller and event-channel state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IrqSubsystem {
+    /// Per-CPU, per-vector pending bit.
+    pending: Vec<[bool; NUM_VECTORS]>,
+    /// Per-CPU, per-vector in-service bit (set at dispatch, cleared by EOI).
+    in_service: Vec<[bool; NUM_VECTORS]>,
+    /// I/O APIC redirection entries (one per vector): which CPU a device
+    /// vector is routed to. Reset by ReHype's reboot.
+    ioapic_route: [Option<CpuId>; NUM_VECTORS],
+    /// Per-domain queues of pending paravirtual events.
+    event_channels: Vec<VecDeque<GuestEventKind>>,
+}
+
+impl IrqSubsystem {
+    /// Boot-time state: device vectors routed to CPU 0, no pending events.
+    pub fn new(num_cpus: usize, num_domains_hint: usize) -> Self {
+        let mut ioapic_route = [None; NUM_VECTORS];
+        ioapic_route[VEC_NET.index()] = Some(CpuId(0));
+        ioapic_route[VEC_BLK.index()] = Some(CpuId(0));
+        IrqSubsystem {
+            pending: vec![[false; NUM_VECTORS]; num_cpus],
+            in_service: vec![[false; NUM_VECTORS]; num_cpus],
+            ioapic_route,
+            event_channels: vec![VecDeque::new(); num_domains_hint],
+        }
+    }
+
+    /// Ensures an event-channel queue exists for `dom`.
+    pub fn ensure_domain(&mut self, dom: DomId) {
+        if self.event_channels.len() <= dom.index() {
+            self.event_channels.resize(dom.index() + 1, VecDeque::new());
+        }
+    }
+
+    /// Marks `vec` pending on `cpu`.
+    pub fn raise(&mut self, cpu: CpuId, vec: IrqVector) {
+        self.pending[cpu.index()][vec.index()] = true;
+    }
+
+    /// Dispatches `vec` on `cpu`: pending → in-service. Returns whether the
+    /// vector could be dispatched (blocked while a previous instance is
+    /// still in service — the hardware rule that makes a missing EOI fatal).
+    pub fn dispatch(&mut self, cpu: CpuId, vec: IrqVector) -> bool {
+        if self.in_service[cpu.index()][vec.index()] {
+            return false;
+        }
+        if !self.pending[cpu.index()][vec.index()] {
+            return false;
+        }
+        self.pending[cpu.index()][vec.index()] = false;
+        self.in_service[cpu.index()][vec.index()] = true;
+        true
+    }
+
+    /// End-of-interrupt for `vec` on `cpu`.
+    pub fn eoi(&mut self, cpu: CpuId, vec: IrqVector) {
+        self.in_service[cpu.index()][vec.index()] = false;
+    }
+
+    /// Whether `vec` is blocked on `cpu` by a missing EOI.
+    pub fn is_in_service(&self, cpu: CpuId, vec: IrqVector) -> bool {
+        self.in_service[cpu.index()][vec.index()]
+    }
+
+    /// Whether `vec` is pending on `cpu`.
+    pub fn is_pending(&self, cpu: CpuId, vec: IrqVector) -> bool {
+        self.pending[cpu.index()][vec.index()]
+    }
+
+    /// The shared recovery enhancement: acknowledge (EOI + clear) every
+    /// pending and in-service interrupt everywhere. Returns how many bits
+    /// were cleared.
+    pub fn ack_all(&mut self) -> usize {
+        let mut cleared = 0;
+        for cpu in 0..self.pending.len() {
+            for v in 0..NUM_VECTORS {
+                if self.pending[cpu][v] {
+                    self.pending[cpu][v] = false;
+                    cleared += 1;
+                }
+                if self.in_service[cpu][v] {
+                    self.in_service[cpu][v] = false;
+                    cleared += 1;
+                }
+            }
+        }
+        cleared
+    }
+
+    /// Reads the I/O APIC route for `vec`.
+    pub fn ioapic_route(&self, vec: IrqVector) -> Option<CpuId> {
+        self.ioapic_route[vec.index()]
+    }
+
+    /// Writes an I/O APIC redirection entry (normal-operation path; ReHype
+    /// logs these writes).
+    pub fn ioapic_write(&mut self, vec: IrqVector, route: Option<CpuId>) {
+        self.ioapic_route[vec.index()] = route;
+    }
+
+    /// ReHype's reboot re-initializes the I/O APIC: all device routes reset
+    /// to the boot default (unrouted).
+    pub fn ioapic_reset_to_boot(&mut self) {
+        self.ioapic_route = [None; NUM_VECTORS];
+    }
+
+    /// Snapshot of the current routes (what ReHype's write log reconstructs).
+    pub fn ioapic_snapshot(&self) -> [Option<CpuId>; NUM_VECTORS] {
+        self.ioapic_route
+    }
+
+    /// Restores routes from a snapshot (replaying ReHype's write log).
+    pub fn ioapic_restore(&mut self, snapshot: [Option<CpuId>; NUM_VECTORS]) {
+        self.ioapic_route = snapshot;
+    }
+
+    /// Queues a paravirtual event for `dom`.
+    pub fn post_event(&mut self, dom: DomId, ev: GuestEventKind) {
+        self.ensure_domain(dom);
+        self.event_channels[dom.index()].push_back(ev);
+    }
+
+    /// Takes the next pending event for `dom`.
+    pub fn take_event(&mut self, dom: DomId) -> Option<GuestEventKind> {
+        self.event_channels.get_mut(dom.index())?.pop_front()
+    }
+
+    /// Number of queued events for `dom`.
+    pub fn pending_events(&self, dom: DomId) -> usize {
+        self.event_channels.get(dom.index()).map_or(0, |q| q.len())
+    }
+
+    /// Drops all queued events for `dom` (domain destruction).
+    pub fn clear_domain(&mut self, dom: DomId) {
+        if let Some(q) = self.event_channels.get_mut(dom.index()) {
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub() -> IrqSubsystem {
+        IrqSubsystem::new(2, 2)
+    }
+
+    #[test]
+    fn dispatch_requires_pending() {
+        let mut s = sub();
+        assert!(!s.dispatch(CpuId(0), VEC_NET));
+        s.raise(CpuId(0), VEC_NET);
+        assert!(s.dispatch(CpuId(0), VEC_NET));
+        assert!(s.is_in_service(CpuId(0), VEC_NET));
+        assert!(!s.is_pending(CpuId(0), VEC_NET));
+    }
+
+    #[test]
+    fn missing_eoi_blocks_vector() {
+        let mut s = sub();
+        s.raise(CpuId(0), VEC_NET);
+        assert!(s.dispatch(CpuId(0), VEC_NET));
+        // Next packet arrives, but without an EOI it cannot be dispatched.
+        s.raise(CpuId(0), VEC_NET);
+        assert!(!s.dispatch(CpuId(0), VEC_NET));
+        s.eoi(CpuId(0), VEC_NET);
+        assert!(s.dispatch(CpuId(0), VEC_NET));
+    }
+
+    #[test]
+    fn ack_all_unblocks_everything() {
+        let mut s = sub();
+        s.raise(CpuId(0), VEC_NET);
+        s.dispatch(CpuId(0), VEC_NET);
+        s.raise(CpuId(1), VEC_TIMER);
+        let cleared = s.ack_all();
+        assert_eq!(cleared, 2);
+        assert!(!s.is_in_service(CpuId(0), VEC_NET));
+        assert!(!s.is_pending(CpuId(1), VEC_TIMER));
+    }
+
+    #[test]
+    fn vectors_are_independent_per_cpu() {
+        let mut s = sub();
+        s.raise(CpuId(0), VEC_BLK);
+        assert!(!s.is_pending(CpuId(1), VEC_BLK));
+        assert!(!s.dispatch(CpuId(1), VEC_BLK));
+    }
+
+    #[test]
+    fn ioapic_reset_and_restore() {
+        let mut s = sub();
+        s.ioapic_write(VEC_NET, Some(CpuId(1)));
+        let snap = s.ioapic_snapshot();
+        s.ioapic_reset_to_boot();
+        assert_eq!(s.ioapic_route(VEC_NET), None);
+        s.ioapic_restore(snap);
+        assert_eq!(s.ioapic_route(VEC_NET), Some(CpuId(1)));
+        assert_eq!(s.ioapic_route(VEC_BLK), Some(CpuId(0)), "boot default kept");
+    }
+
+    #[test]
+    fn event_channels_fifo_per_domain() {
+        let mut s = sub();
+        s.post_event(DomId(1), GuestEventKind::NetRx { seq: 1 });
+        s.post_event(DomId(1), GuestEventKind::NetRx { seq: 2 });
+        s.post_event(DomId(0), GuestEventKind::TimerVirq);
+        assert_eq!(s.pending_events(DomId(1)), 2);
+        assert_eq!(s.take_event(DomId(1)), Some(GuestEventKind::NetRx { seq: 1 }));
+        assert_eq!(s.take_event(DomId(1)), Some(GuestEventKind::NetRx { seq: 2 }));
+        assert_eq!(s.take_event(DomId(1)), None);
+        assert_eq!(s.take_event(DomId(0)), Some(GuestEventKind::TimerVirq));
+    }
+
+    #[test]
+    fn event_channels_grow_on_demand() {
+        let mut s = sub();
+        s.post_event(DomId(5), GuestEventKind::BlkComplete { req: 7 });
+        assert_eq!(s.pending_events(DomId(5)), 1);
+        s.clear_domain(DomId(5));
+        assert_eq!(s.pending_events(DomId(5)), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Whole-machine invariant checks, used by tests and by the recovery test
+//! suite to verify that a "recovered" hypervisor really is in a valid,
+//! self-consistent state.
+
+use crate::hypervisor::Hypervisor;
+
+/// A violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Details.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Checks every steady-state invariant of a quiescent hypervisor (one with
+/// no execution threads in flight):
+///
+/// * no lock is held;
+/// * no CPU has nonzero interrupt nesting;
+/// * every CPU's APIC timer is armed;
+/// * the scheduler's redundant metadata is mutually consistent;
+/// * every page-frame descriptor is internally consistent;
+/// * the expected recurring timer events are present;
+/// * the heap free list is intact.
+///
+/// Returns all violations found (empty = healthy). These are exactly the
+/// post-conditions a successful recovery must establish.
+pub fn check_quiescent(hv: &Hypervisor) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let held = hv.locks.held_locks();
+    if !held.is_empty() {
+        out.push(Violation {
+            invariant: "no-locks-held",
+            detail: format!("{} locks held: {held:?}", held.len()),
+        });
+    }
+
+    for cpu in 0..hv.num_cpus() {
+        let pc = &hv.percpu[cpu];
+        if pc.local_irq_count != 0 {
+            out.push(Violation {
+                invariant: "irq-count-zero",
+                detail: format!("cpu{cpu} local_irq_count={}", pc.local_irq_count),
+            });
+        }
+        if !pc.apic.is_programmed() {
+            out.push(Violation {
+                invariant: "apic-armed",
+                detail: format!("cpu{cpu} APIC timer not programmed"),
+            });
+        }
+    }
+
+    if let Err(inc) = hv.sched.check_all() {
+        out.push(Violation {
+            invariant: "sched-consistent",
+            detail: inc.detail,
+        });
+    }
+
+    let bad_pfd = hv.pft.count_inconsistent();
+    if bad_pfd != 0 {
+        out.push(Violation {
+            invariant: "pfd-consistent",
+            detail: format!("{bad_pfd} inconsistent page-frame descriptors"),
+        });
+    }
+
+    for (kind, _, _) in hv.expected_recurring() {
+        if !hv.timers.contains_kind(kind) {
+            out.push(Violation {
+                invariant: "recurring-events-present",
+                detail: format!("missing recurring event {kind:?}"),
+            });
+        }
+    }
+
+    if hv.heap.is_freelist_corrupted() {
+        out.push(Violation {
+            invariant: "heap-intact",
+            detail: "heap free list corrupted".to_string(),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::CorruptionKind;
+    use crate::config::MachineConfig;
+    use nlh_sim::CpuId;
+
+    #[test]
+    fn fresh_machine_is_quiescent() {
+        let hv = Hypervisor::new(MachineConfig::small(), 1);
+        assert_eq!(check_quiescent(&hv), Vec::new());
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let mut hv = Hypervisor::new(MachineConfig::small(), 2);
+        hv.percpu[0].local_irq_count = 2;
+        hv.percpu[1].apic.disarm();
+        hv.locks
+            .acquire(crate::locks::StaticLock::Time.id(), CpuId(0));
+        hv.apply_corruption(CorruptionKind::HeapFreelist);
+        let v = check_quiescent(&hv);
+        let names: Vec<_> = v.iter().map(|x| x.invariant).collect();
+        assert!(names.contains(&"irq-count-zero"));
+        assert!(names.contains(&"apic-armed"));
+        assert!(names.contains(&"no-locks-held"));
+        assert!(names.contains(&"heap-intact"));
+    }
+
+    #[test]
+    fn missing_recurring_event_is_a_violation() {
+        let mut hv = Hypervisor::new(MachineConfig::small(), 3);
+        hv.timers
+            .remove_kind(crate::timers::TimerEventKind::TimeSync);
+        let v = check_quiescent(&hv);
+        assert!(v
+            .iter()
+            .any(|x| x.invariant == "recurring-events-present"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Hypervisor spinlocks.
+//!
+//! Both recovery mechanisms must leave every lock unlocked, since all
+//! hypervisor execution threads are discarded (Section V-A, "Unlock static
+//! locks"). Locks live in two places:
+//!
+//! * **Heap locks**, embedded in heap allocations (per-CPU scheduler and
+//!   timer structures, domain structs, ...). ReHype already had a mechanism
+//!   to release these; NiLiHype reuses it.
+//! * **Static locks**, in the hypervisor image's static data segment.
+//!   ReHype's reboot re-initializes them for free. NiLiHype instead relies
+//!   on the paper's linker-script trick: all static locks are declared via a
+//!   macro and placed in one contiguous segment, so recovery can iterate the
+//!   segment and unlock them. [`LockRegistry::static_segment`] models that
+//!   segment.
+
+use nlh_sim::{CpuId, LockId};
+use serde::{Deserialize, Serialize};
+
+/// Where a lock is stored — determines which recovery enhancement can
+/// release it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockPlacement {
+    /// In the static data segment (released by "unlock static locks" /
+    /// re-initialized by ReHype's reboot).
+    Static,
+    /// Embedded in a heap allocation (released by the shared "release heap
+    /// locks" enhancement).
+    Heap,
+}
+
+/// A spinlock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lock {
+    /// Stable identifier.
+    pub id: LockId,
+    /// Human-readable name (e.g. `"timer_heap[3]"`).
+    pub name: String,
+    /// Storage placement.
+    pub placement: LockPlacement,
+    /// The CPU currently holding the lock, if any.
+    pub holder: Option<CpuId>,
+}
+
+/// Result of attempting to acquire a lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The lock was free and is now held by the requester.
+    Acquired,
+    /// The lock is held by another CPU; the requester must spin.
+    Contended(CpuId),
+}
+
+/// The set of all hypervisor spinlocks.
+///
+/// Well-known locks (console, page allocator, domain control, time) are
+/// created statically at boot; per-CPU scheduler/timer locks are registered
+/// as their heap objects are allocated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LockRegistry {
+    locks: Vec<Lock>,
+}
+
+/// Well-known static locks, created by [`LockRegistry::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticLock {
+    /// Serializes console output (`console_io` hypercall).
+    Console,
+    /// Serializes the page allocator (`memory_op`, domain construction).
+    PageAlloc,
+    /// Serializes domain-control operations (domain create/destroy).
+    Domctl,
+    /// Serializes platform time updates (the time-sync recurring event).
+    Time,
+    /// Serializes grant-table setup.
+    Grant,
+}
+
+impl StaticLock {
+    /// All well-known static locks, in registration order.
+    pub const ALL: [StaticLock; 5] = [
+        StaticLock::Console,
+        StaticLock::PageAlloc,
+        StaticLock::Domctl,
+        StaticLock::Time,
+        StaticLock::Grant,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            StaticLock::Console => "console",
+            StaticLock::PageAlloc => "page_alloc",
+            StaticLock::Domctl => "domctl",
+            StaticLock::Time => "time",
+            StaticLock::Grant => "grant",
+        }
+    }
+
+    /// The registry id of this static lock.
+    pub fn id(self) -> LockId {
+        let idx = StaticLock::ALL.iter().position(|s| *s == self).unwrap();
+        LockId::from_index(idx)
+    }
+}
+
+impl LockRegistry {
+    /// Creates a registry pre-populated with the well-known static locks.
+    pub fn new() -> Self {
+        let locks = StaticLock::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Lock {
+                id: LockId::from_index(i),
+                name: s.name().to_string(),
+                placement: LockPlacement::Static,
+                holder: None,
+            })
+            .collect();
+        LockRegistry { locks }
+    }
+
+    /// Registers a new lock and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, placement: LockPlacement) -> LockId {
+        let id = LockId::from_index(self.locks.len());
+        self.locks.push(Lock {
+            id,
+            name: name.into(),
+            placement,
+            holder: None,
+        });
+        id
+    }
+
+    /// The lock with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this registry.
+    pub fn get(&self, id: LockId) -> &Lock {
+        &self.locks[id.index()]
+    }
+
+    /// Attempts to acquire `id` for `cpu`.
+    ///
+    /// Re-acquisition by the current holder is modelled as contention
+    /// (hypervisor spinlocks are not recursive) — in practice recovery has
+    /// released everything before any retry, so this arises only when a lock
+    /// was leaked.
+    pub fn acquire(&mut self, id: LockId, cpu: CpuId) -> AcquireOutcome {
+        let lock = &mut self.locks[id.index()];
+        match lock.holder {
+            None => {
+                lock.holder = Some(cpu);
+                AcquireOutcome::Acquired
+            }
+            Some(holder) => AcquireOutcome::Contended(holder),
+        }
+    }
+
+    /// Releases `id`. Releasing an unheld lock is a no-op (recovery paths
+    /// release defensively).
+    pub fn release(&mut self, id: LockId) {
+        self.locks[id.index()].holder = None;
+    }
+
+    /// All locks currently held by `cpu`.
+    pub fn held_by(&self, cpu: CpuId) -> Vec<LockId> {
+        self.locks
+            .iter()
+            .filter(|l| l.holder == Some(cpu))
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// The static-segment lock array (the paper's linker-script segment).
+    pub fn static_segment(&self) -> impl Iterator<Item = &Lock> {
+        self.locks
+            .iter()
+            .filter(|l| l.placement == LockPlacement::Static)
+    }
+
+    /// Unlocks every lock in the static segment, returning how many were
+    /// held. This is NiLiHype's "unlock static locks" enhancement.
+    pub fn unlock_static_segment(&mut self) -> usize {
+        let mut released = 0;
+        for lock in &mut self.locks {
+            if lock.placement == LockPlacement::Static && lock.holder.is_some() {
+                lock.holder = None;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Unlocks the given heap locks (the shared ReHype mechanism walks the
+    /// heap to find them). Returns how many were held.
+    pub fn unlock_heap_locks(&mut self, ids: impl IntoIterator<Item = LockId>) -> usize {
+        let mut released = 0;
+        for id in ids {
+            let lock = &mut self.locks[id.index()];
+            debug_assert_eq!(lock.placement, LockPlacement::Heap);
+            if lock.holder.is_some() {
+                lock.holder = None;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Ids of all locks that are currently held.
+    pub fn held_locks(&self) -> Vec<LockId> {
+        self.locks
+            .iter()
+            .filter(|l| l.holder.is_some())
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// Total number of registered locks.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether the registry is empty (it never is — static locks exist).
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+impl Default for LockRegistry {
+    fn default() -> Self {
+        LockRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_locks_preregistered() {
+        let reg = LockRegistry::new();
+        assert_eq!(reg.static_segment().count(), StaticLock::ALL.len());
+        assert_eq!(reg.get(StaticLock::Console.id()).name, "console");
+        assert_eq!(reg.get(StaticLock::Time.id()).name, "time");
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut reg = LockRegistry::new();
+        let id = StaticLock::PageAlloc.id();
+        assert_eq!(reg.acquire(id, CpuId(1)), AcquireOutcome::Acquired);
+        assert_eq!(reg.acquire(id, CpuId(2)), AcquireOutcome::Contended(CpuId(1)));
+        reg.release(id);
+        assert_eq!(reg.acquire(id, CpuId(2)), AcquireOutcome::Acquired);
+    }
+
+    #[test]
+    fn locks_are_not_recursive() {
+        let mut reg = LockRegistry::new();
+        let id = StaticLock::Console.id();
+        assert_eq!(reg.acquire(id, CpuId(0)), AcquireOutcome::Acquired);
+        assert_eq!(reg.acquire(id, CpuId(0)), AcquireOutcome::Contended(CpuId(0)));
+    }
+
+    #[test]
+    fn held_by_reports_only_that_cpu() {
+        let mut reg = LockRegistry::new();
+        let h = reg.register("timer[0]", LockPlacement::Heap);
+        reg.acquire(StaticLock::Time.id(), CpuId(3));
+        reg.acquire(h, CpuId(4));
+        assert_eq!(reg.held_by(CpuId(3)), vec![StaticLock::Time.id()]);
+        assert_eq!(reg.held_by(CpuId(4)), vec![h]);
+        assert!(reg.held_by(CpuId(5)).is_empty());
+    }
+
+    #[test]
+    fn unlock_static_segment_skips_heap_locks() {
+        let mut reg = LockRegistry::new();
+        let h = reg.register("runq[2]", LockPlacement::Heap);
+        reg.acquire(StaticLock::Domctl.id(), CpuId(0));
+        reg.acquire(StaticLock::Time.id(), CpuId(1));
+        reg.acquire(h, CpuId(2));
+        assert_eq!(reg.unlock_static_segment(), 2);
+        assert_eq!(reg.held_locks(), vec![h], "heap lock untouched");
+    }
+
+    #[test]
+    fn unlock_heap_locks_releases_listed_only() {
+        let mut reg = LockRegistry::new();
+        let h1 = reg.register("runq[0]", LockPlacement::Heap);
+        let h2 = reg.register("timer[0]", LockPlacement::Heap);
+        reg.acquire(h1, CpuId(0));
+        reg.acquire(h2, CpuId(1));
+        reg.acquire(StaticLock::Console.id(), CpuId(2));
+        assert_eq!(reg.unlock_heap_locks([h1, h2]), 2);
+        assert_eq!(reg.held_locks(), vec![StaticLock::Console.id()]);
+    }
+
+    #[test]
+    fn release_unheld_is_noop() {
+        let mut reg = LockRegistry::new();
+        reg.release(StaticLock::Grant.id());
+        assert!(reg.held_locks().is_empty());
+    }
+}

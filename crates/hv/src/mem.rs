@@ -1,0 +1,590 @@
+//! Hypervisor memory management: page-frame descriptors and the heap.
+//!
+//! Two pieces of memory state matter to the paper's recovery mechanisms:
+//!
+//! * **Page-frame descriptors** (`struct page_info` in Xen). Each frame
+//!   carries a *use counter* and a *validation bit*. Hypercalls update the
+//!   two in separate steps, so a fault can leave them inconsistent; both
+//!   ReHype and NiLiHype run a consistency scan over all descriptors during
+//!   recovery (the dominant 21 ms of NiLiHype's 22 ms latency on an 8 GB
+//!   machine — Table III).
+//! * **The hypervisor heap**. ReHype reboots into a fresh heap and must
+//!   re-integrate preserved allocations (211 ms, Table II); NiLiHype keeps
+//!   the heap in place. The heap also hosts dynamically-allocated locks,
+//!   which the shared "release heap locks" enhancement walks.
+
+use nlh_sim::{DomId, LockId, PageNum};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of a physical page frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// On the free list.
+    Free,
+    /// Backing a hypervisor heap allocation.
+    HeapAllocated,
+    /// Owned by a domain (guest memory).
+    DomainOwned,
+}
+
+/// A page-frame descriptor (`struct page_info`).
+///
+/// The invariant the recovery scan restores is `validated == (use_count > 0)`
+/// for domain-owned pages: a page is validated as a page-table page exactly
+/// while references to it are held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageFrameDescriptor {
+    /// Reference count of mappings/pins of this frame.
+    pub use_count: u32,
+    /// Whether the frame has been validated as a page-table page.
+    pub validated: bool,
+    /// Owning domain, if any.
+    pub owner: Option<DomId>,
+    /// Current lifecycle state.
+    pub state: PageState,
+}
+
+impl PageFrameDescriptor {
+    /// A clean, free frame.
+    pub const fn free() -> Self {
+        PageFrameDescriptor {
+            use_count: 0,
+            validated: false,
+            owner: None,
+            state: PageState::Free,
+        }
+    }
+
+    /// Whether the validation bit and use counter are mutually consistent.
+    pub fn is_consistent(&self) -> bool {
+        match self.state {
+            PageState::Free => self.use_count == 0 && !self.validated,
+            PageState::HeapAllocated => !self.validated,
+            PageState::DomainOwned => self.validated == (self.use_count > 0),
+        }
+    }
+}
+
+/// Errors from page-frame operations.
+///
+/// In the real hypervisor these conditions trip `BUG_ON`/`ASSERT` and panic
+/// the hypervisor; callers in this crate translate them into detections.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemError {
+    /// The free list is exhausted.
+    OutOfMemory,
+    /// An allocated frame was found in an invalid state (e.g. a "free" page
+    /// that still has references — the signature of a double-applied
+    /// non-idempotent hypercall retry).
+    CorruptFrame(PageNum),
+    /// A reference count would underflow.
+    RefUnderflow(PageNum),
+    /// The frame index is out of range.
+    BadFrame(PageNum),
+    /// The heap free list metadata is corrupted.
+    HeapCorrupt,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory => write!(f, "out of hypervisor memory"),
+            MemError::CorruptFrame(p) => write!(f, "page frame {p} is in a corrupt state"),
+            MemError::RefUnderflow(p) => write!(f, "use count underflow on frame {p}"),
+            MemError::BadFrame(p) => write!(f, "page frame {p} out of range"),
+            MemError::HeapCorrupt => write!(f, "hypervisor heap free list corrupted"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The table of all page-frame descriptors plus the frame free list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageFrameTable {
+    frames: Vec<PageFrameDescriptor>,
+    free: Vec<PageNum>,
+}
+
+impl PageFrameTable {
+    /// Creates a table with `num_pages` clean, free frames.
+    pub fn new(num_pages: usize) -> Self {
+        PageFrameTable {
+            frames: vec![PageFrameDescriptor::free(); num_pages],
+            // Pop from the back: low frames get handed out first.
+            free: (0..num_pages).rev().map(PageNum::from_index).collect(),
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the table has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Number of free frames.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The descriptor for `page`.
+    pub fn get(&self, page: PageNum) -> Result<&PageFrameDescriptor, MemError> {
+        self.frames.get(page.index()).ok_or(MemError::BadFrame(page))
+    }
+
+    /// Mutable access to the descriptor for `page`.
+    pub fn get_mut(&mut self, page: PageNum) -> Result<&mut PageFrameDescriptor, MemError> {
+        self.frames
+            .get_mut(page.index())
+            .ok_or(MemError::BadFrame(page))
+    }
+
+    /// Allocates a frame for `owner` in state `state`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when the free list is empty, and
+    /// [`MemError::CorruptFrame`] when the popped frame is not clean — the
+    /// real hypervisor `BUG()`s here, and this is how a double-applied
+    /// non-idempotent hypercall retry eventually manifests.
+    pub fn alloc(&mut self, owner: Option<DomId>, state: PageState) -> Result<PageNum, MemError> {
+        let page = self.free.pop().ok_or(MemError::OutOfMemory)?;
+        let pfd = &mut self.frames[page.index()];
+        if pfd.use_count != 0 || pfd.validated || pfd.state != PageState::Free {
+            return Err(MemError::CorruptFrame(page));
+        }
+        pfd.owner = owner;
+        pfd.state = state;
+        Ok(page)
+    }
+
+    /// Returns `page` to the free list.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::CorruptFrame`] if the frame still has references or a set
+    /// validation bit (hypervisor `BUG()` in the real system).
+    pub fn free(&mut self, page: PageNum) -> Result<(), MemError> {
+        let pfd = self.get_mut(page)?;
+        if pfd.use_count != 0 || pfd.validated {
+            return Err(MemError::CorruptFrame(page));
+        }
+        if pfd.state == PageState::Free {
+            return Err(MemError::CorruptFrame(page));
+        }
+        pfd.owner = None;
+        pfd.state = PageState::Free;
+        self.free.push(page);
+        Ok(())
+    }
+
+    /// Increments the use counter (one half of a pin operation).
+    pub fn inc_ref(&mut self, page: PageNum) -> Result<(), MemError> {
+        let pfd = self.get_mut(page)?;
+        pfd.use_count += 1;
+        Ok(())
+    }
+
+    /// Decrements the use counter.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::RefUnderflow`] when the counter is already zero — the
+    /// signature of a lost (never-applied or undone-twice) reference.
+    pub fn dec_ref(&mut self, page: PageNum) -> Result<(), MemError> {
+        let pfd = self.get_mut(page)?;
+        if pfd.use_count == 0 {
+            return Err(MemError::RefUnderflow(page));
+        }
+        pfd.use_count -= 1;
+        Ok(())
+    }
+
+    /// Sets the validation bit (the other half of a pin operation).
+    pub fn set_validated(&mut self, page: PageNum, validated: bool) -> Result<(), MemError> {
+        self.get_mut(page)?.validated = validated;
+        Ok(())
+    }
+
+    /// The recovery-time consistency scan over **all** page-frame
+    /// descriptors (Tables II and III: 21 ms on an 8 GB machine).
+    ///
+    /// Restores `validated == (use_count > 0)` on domain-owned frames and
+    /// clears stray bits on free/heap frames. Returns the number of frames
+    /// repaired. The cost is proportional to [`PageFrameTable::len`]; the
+    /// recovery latency model charges it accordingly.
+    pub fn consistency_scan(&mut self) -> usize {
+        let mut fixed = 0;
+        for pfd in &mut self.frames {
+            if pfd.is_consistent() {
+                continue;
+            }
+            match pfd.state {
+                PageState::Free | PageState::HeapAllocated => {
+                    pfd.use_count = 0;
+                    pfd.validated = false;
+                }
+                PageState::DomainOwned => {
+                    // The validation bit is the more reliable source: an
+                    // abandoned pin takes its reference *before* setting
+                    // the bit, so a mismatch means the references are
+                    // stray (half-applied pin, leaked grant, or corruption)
+                    // and must be dropped. Repairing in the other
+                    // direction would fabricate pins and trip Xen's
+                    // "already validated" BUG on the next real pin.
+                    pfd.use_count = 0;
+                    pfd.validated = false;
+                }
+            }
+            fixed += 1;
+        }
+        fixed
+    }
+
+    /// Counts inconsistent descriptors without repairing them.
+    pub fn count_inconsistent(&self) -> usize {
+        self.frames.iter().filter(|p| !p.is_consistent()).count()
+    }
+
+    /// Iterates over `(page, descriptor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNum, &PageFrameDescriptor)> {
+        self.frames
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PageNum::from_index(i), p))
+    }
+}
+
+/// Kinds of hypervisor heap allocations the simulation tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeapObjKind {
+    /// Per-CPU scheduler data (runqueue + its lock).
+    PerCpuSched(u32),
+    /// Per-CPU timer heap data (and its lock).
+    PerCpuTimer(u32),
+    /// A domain descriptor.
+    DomainStruct(DomId),
+    /// A vCPU descriptor.
+    VcpuStruct(u32),
+    /// A domain's grant table.
+    GrantTable(DomId),
+    /// Anything else.
+    Misc,
+}
+
+/// A live hypervisor heap allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapObject {
+    /// Stable id of the allocation.
+    pub id: u64,
+    /// What the allocation is for.
+    pub kind: HeapObjKind,
+    /// A spinlock embedded in the object, if any (walked by the
+    /// "release heap locks" recovery enhancement).
+    pub lock: Option<LockId>,
+    /// Page frames backing the allocation.
+    pub pages: Vec<PageNum>,
+}
+
+/// The hypervisor heap.
+///
+/// The simulation tracks allocations as objects rather than bytes; what
+/// recovery cares about is *which* objects exist (to find their locks), how
+/// many pages they cover (ReHype's heap rebuild cost), and whether the free
+/// list metadata is intact (a corruption target that the reboot repairs but
+/// microreset does not).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+    next_id: u64,
+    freelist_corrupted: bool,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Heap {
+            objects: Vec::new(),
+            next_id: 1,
+            freelist_corrupted: false,
+        }
+    }
+
+    /// Allocates an object of `kind` backed by `n_pages` frames from `pft`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::HeapCorrupt`] if the free-list metadata has been
+    /// corrupted (the allocation path walks it), or any frame-allocation
+    /// error.
+    pub fn alloc(
+        &mut self,
+        pft: &mut PageFrameTable,
+        kind: HeapObjKind,
+        n_pages: usize,
+        lock: Option<LockId>,
+    ) -> Result<u64, MemError> {
+        if self.freelist_corrupted {
+            return Err(MemError::HeapCorrupt);
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            match pft.alloc(None, PageState::HeapAllocated) {
+                Ok(p) => pages.push(p),
+                Err(e) => {
+                    // Roll back partial allocation.
+                    for p in pages {
+                        let _ = pft.free(p);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.objects.push(HeapObject {
+            id,
+            kind,
+            lock,
+            pages,
+        });
+        Ok(id)
+    }
+
+    /// Frees object `id`, returning its frames to `pft`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::HeapCorrupt`] if the free list is corrupted or the id is
+    /// unknown (a double free).
+    pub fn free(&mut self, pft: &mut PageFrameTable, id: u64) -> Result<(), MemError> {
+        if self.freelist_corrupted {
+            return Err(MemError::HeapCorrupt);
+        }
+        let idx = self
+            .objects
+            .iter()
+            .position(|o| o.id == id)
+            .ok_or(MemError::HeapCorrupt)?;
+        let obj = self.objects.swap_remove(idx);
+        for p in obj.pages {
+            pft.free(p)?;
+        }
+        Ok(())
+    }
+
+    /// Live allocations.
+    pub fn objects(&self) -> &[HeapObject] {
+        &self.objects
+    }
+
+    /// Total pages backing live allocations.
+    pub fn allocated_pages(&self) -> usize {
+        self.objects.iter().map(|o| o.pages.len()).sum()
+    }
+
+    /// Whether the free-list metadata is corrupted.
+    pub fn is_freelist_corrupted(&self) -> bool {
+        self.freelist_corrupted
+    }
+
+    /// Corrupts the free-list metadata (fault-injection surface).
+    pub fn corrupt_freelist(&mut self) {
+        self.freelist_corrupted = true;
+    }
+
+    /// Rebuilds the free-list metadata from the live allocations, as
+    /// ReHype's reboot does when it recreates the heap and re-integrates
+    /// preserved allocations. Clears any corruption.
+    pub fn rebuild_freelist(&mut self) {
+        self.freelist_corrupted = false;
+    }
+
+    /// Locks embedded in live heap objects (the set the shared
+    /// "release heap locks" enhancement walks).
+    pub fn embedded_locks(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.objects.iter().filter_map(|o| o.lock)
+    }
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Heap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageFrameTable {
+        PageFrameTable::new(64)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut t = table();
+        assert_eq!(t.free_count(), 64);
+        let p = t.alloc(Some(DomId(1)), PageState::DomainOwned).unwrap();
+        assert_eq!(t.free_count(), 63);
+        let pfd = t.get(p).unwrap();
+        assert_eq!(pfd.owner, Some(DomId(1)));
+        assert_eq!(pfd.state, PageState::DomainOwned);
+        t.free(p).unwrap();
+        assert_eq!(t.free_count(), 64);
+        assert_eq!(t.get(p).unwrap().state, PageState::Free);
+    }
+
+    #[test]
+    fn alloc_detects_dirty_free_page() {
+        let mut t = table();
+        let p = t.alloc(None, PageState::DomainOwned).unwrap();
+        t.inc_ref(p).unwrap();
+        // Simulate corruption: force the frame back onto the free list with
+        // a stale reference (what a double-applied retry produces).
+        t.get_mut(p).unwrap().state = PageState::Free;
+        t.free.push(p);
+        // Allocation of other pages is fine until the dirty one is popped.
+        assert_eq!(t.alloc(None, PageState::DomainOwned), Err(MemError::CorruptFrame(p)));
+    }
+
+    #[test]
+    fn free_rejects_referenced_page() {
+        let mut t = table();
+        let p = t.alloc(None, PageState::DomainOwned).unwrap();
+        t.inc_ref(p).unwrap();
+        assert_eq!(t.free(p), Err(MemError::CorruptFrame(p)));
+        t.dec_ref(p).unwrap();
+        t.free(p).unwrap();
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut t = table();
+        let p = t.alloc(None, PageState::DomainOwned).unwrap();
+        t.free(p).unwrap();
+        assert_eq!(t.free(p), Err(MemError::CorruptFrame(p)));
+    }
+
+    #[test]
+    fn dec_ref_underflow() {
+        let mut t = table();
+        let p = t.alloc(None, PageState::DomainOwned).unwrap();
+        assert_eq!(t.dec_ref(p), Err(MemError::RefUnderflow(p)));
+    }
+
+    #[test]
+    fn out_of_range_frame() {
+        let t = table();
+        assert_eq!(t.get(PageNum(999)).err(), Some(MemError::BadFrame(PageNum(999))));
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut t = PageFrameTable::new(1);
+        t.alloc(None, PageState::HeapAllocated).unwrap();
+        assert_eq!(t.alloc(None, PageState::HeapAllocated), Err(MemError::OutOfMemory));
+    }
+
+    #[test]
+    fn consistency_scan_repairs_half_pin() {
+        let mut t = table();
+        let p = t.alloc(Some(DomId(1)), PageState::DomainOwned).unwrap();
+        // A pin is inc_ref + set_validated; a fault between the two leaves
+        // the pair inconsistent: the reference is stray and gets dropped.
+        t.inc_ref(p).unwrap();
+        assert!(!t.get(p).unwrap().is_consistent());
+        assert_eq!(t.count_inconsistent(), 1);
+        let fixed = t.consistency_scan();
+        assert_eq!(fixed, 1);
+        let pfd = t.get(p).unwrap();
+        assert_eq!(pfd.use_count, 0, "stray reference dropped");
+        assert!(!pfd.validated);
+        assert_eq!(t.count_inconsistent(), 0);
+    }
+
+    #[test]
+    fn consistency_scan_clears_stray_validation() {
+        let mut t = table();
+        let p = t.alloc(Some(DomId(1)), PageState::DomainOwned).unwrap();
+        t.set_validated(p, true).unwrap(); // validated with zero refs
+        assert_eq!(t.consistency_scan(), 1);
+        assert!(!t.get(p).unwrap().validated);
+    }
+
+    #[test]
+    fn consistency_scan_is_idempotent() {
+        let mut t = table();
+        for _ in 0..8 {
+            let p = t.alloc(Some(DomId(2)), PageState::DomainOwned).unwrap();
+            t.inc_ref(p).unwrap();
+        }
+        assert_eq!(t.consistency_scan(), 8);
+        assert_eq!(t.consistency_scan(), 0);
+    }
+
+    #[test]
+    fn scan_does_not_hide_double_apply() {
+        // A double-applied pin (count 2, validated) is *consistent* and must
+        // survive the scan — the paper's logging enhancement exists exactly
+        // because the scan cannot repair it.
+        let mut t = table();
+        let p = t.alloc(Some(DomId(1)), PageState::DomainOwned).unwrap();
+        t.inc_ref(p).unwrap();
+        t.inc_ref(p).unwrap();
+        t.set_validated(p, true).unwrap();
+        assert_eq!(t.consistency_scan(), 0);
+        assert_eq!(t.get(p).unwrap().use_count, 2);
+    }
+
+    #[test]
+    fn heap_alloc_free() {
+        let mut t = table();
+        let mut h = Heap::new();
+        let id = h
+            .alloc(&mut t, HeapObjKind::PerCpuSched(0), 2, Some(LockId(5)))
+            .unwrap();
+        assert_eq!(h.allocated_pages(), 2);
+        assert_eq!(h.embedded_locks().collect::<Vec<_>>(), vec![LockId(5)]);
+        h.free(&mut t, id).unwrap();
+        assert_eq!(h.allocated_pages(), 0);
+        assert_eq!(t.free_count(), 64);
+    }
+
+    #[test]
+    fn heap_corruption_blocks_alloc_until_rebuild() {
+        let mut t = table();
+        let mut h = Heap::new();
+        h.corrupt_freelist();
+        assert_eq!(
+            h.alloc(&mut t, HeapObjKind::Misc, 1, None),
+            Err(MemError::HeapCorrupt)
+        );
+        h.rebuild_freelist();
+        assert!(h.alloc(&mut t, HeapObjKind::Misc, 1, None).is_ok());
+    }
+
+    #[test]
+    fn heap_alloc_rolls_back_on_failure() {
+        let mut t = PageFrameTable::new(2);
+        let mut h = Heap::new();
+        assert_eq!(
+            h.alloc(&mut t, HeapObjKind::Misc, 3, None),
+            Err(MemError::OutOfMemory)
+        );
+        assert_eq!(t.free_count(), 2, "partial allocation was rolled back");
+    }
+
+    #[test]
+    fn heap_double_free_is_error() {
+        let mut t = table();
+        let mut h = Heap::new();
+        let id = h.alloc(&mut t, HeapObjKind::Misc, 1, None).unwrap();
+        h.free(&mut t, id).unwrap();
+        assert_eq!(h.free(&mut t, id), Err(MemError::HeapCorrupt));
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-CPU architectural state the recovery mechanisms repair.
+//!
+//! Each physical CPU carries:
+//!
+//! * `local_irq_count` — interrupt-nesting depth, incremented/decremented on
+//!   interrupt entry/exit. Hypervisor assertions consult it; because
+//!   microreset discards execution threads mid-interrupt, NiLiHype must zero
+//!   it explicitly ("Clear IRQ count", Section V-A).
+//! * The **local APIC timer** — a one-shot hardware timer. The timer
+//!   interrupt handler reprograms it from the software timer heap; a fault
+//!   between firing and reprogramming leaves it dead ("Reprogram hardware
+//!   timer").
+//! * **FS/GS save area** — Xen on x86-64 does not save the guest's FS/GS on
+//!   hypervisor entry; the "Save FS/GS" enhancement snapshots them when an
+//!   error is detected (Section IV).
+//! * **Watchdog state** — the heartbeat counter a recurring software timer
+//!   event increments, and the perf-counter-NMI bookkeeping that detects a
+//!   stalled heartbeat (Section VI-B).
+
+use nlh_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The per-CPU one-shot local APIC timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ApicTimer {
+    deadline: Option<SimTime>,
+}
+
+impl ApicTimer {
+    /// An unprogrammed timer.
+    pub fn new() -> Self {
+        ApicTimer { deadline: None }
+    }
+
+    /// Programs the timer to fire at `when`.
+    pub fn program(&mut self, when: SimTime) {
+        self.deadline = Some(when);
+    }
+
+    /// The programmed deadline, if any.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    /// Whether the timer is armed.
+    pub fn is_programmed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// If the deadline has passed, *fires*: clears the deadline (one-shot
+    /// semantics — the handler must reprogram) and returns `true`.
+    pub fn take_fire(&mut self, now: SimTime) -> bool {
+        match self.deadline {
+            Some(d) if now >= d => {
+                self.deadline = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Disarms the timer (fault-injection surface).
+    pub fn disarm(&mut self) {
+        self.deadline = None;
+    }
+}
+
+/// Watchdog bookkeeping for one CPU (Section VI-B).
+///
+/// A recurring software timer event increments [`heartbeat`] every 100 ms; a
+/// performance-counter NMI fires every 100 ms of unhalted cycles and checks
+/// whether the heartbeat advanced. Three consecutive stalled checks declare
+/// a hang.
+///
+/// [`heartbeat`]: WatchdogState::heartbeat
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogState {
+    /// Counter incremented by the recurring heartbeat timer event.
+    pub heartbeat: u64,
+    /// Heartbeat value seen at the previous NMI check.
+    pub last_seen: u64,
+    /// Consecutive NMI checks that observed no heartbeat progress.
+    pub stall_checks: u32,
+    /// When the next NMI check is due.
+    pub next_check: SimTime,
+}
+
+impl WatchdogState {
+    /// Fresh watchdog state with the first check at `first_check`.
+    pub fn new(first_check: SimTime) -> Self {
+        WatchdogState {
+            heartbeat: 0,
+            last_seen: 0,
+            stall_checks: 0,
+            next_check: first_check,
+        }
+    }
+
+    /// Runs one NMI check at `now`; returns `true` if the stall threshold
+    /// has been reached (hang detected). `period` schedules the next check.
+    pub fn nmi_check(
+        &mut self,
+        now: SimTime,
+        period: nlh_sim::SimDuration,
+        threshold: u32,
+    ) -> bool {
+        self.next_check = now + period;
+        if self.heartbeat == self.last_seen {
+            self.stall_checks += 1;
+        } else {
+            self.stall_checks = 0;
+            self.last_seen = self.heartbeat;
+        }
+        self.stall_checks >= threshold
+    }
+
+    /// Resets stall tracking (done when recovery completes, so the first
+    /// post-recovery checks don't see stale history).
+    pub fn reset(&mut self, now: SimTime, period: nlh_sim::SimDuration) {
+        self.stall_checks = 0;
+        self.last_seen = self.heartbeat;
+        self.next_check = now + period;
+    }
+}
+
+/// Per-CPU architectural state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerCpu {
+    /// Interrupt nesting depth (`local_irq_count` in Xen).
+    pub local_irq_count: u32,
+    /// The local APIC one-shot timer.
+    pub apic: ApicTimer,
+    /// FS/GS of the interrupted guest, saved at error detection when the
+    /// "Save FS/GS" enhancement is enabled.
+    pub saved_fs_gs: Option<(u64, u64)>,
+    /// Watchdog heartbeat/NMI bookkeeping.
+    pub watchdog: WatchdogState,
+    /// Whether interrupts are disabled on this CPU.
+    pub interrupts_disabled: bool,
+}
+
+impl PerCpu {
+    /// Boot-time per-CPU state; the first watchdog check is due one period
+    /// after boot.
+    pub fn new(first_check: SimTime) -> Self {
+        PerCpu {
+            local_irq_count: 0,
+            apic: ApicTimer::new(),
+            saved_fs_gs: None,
+            watchdog: WatchdogState::new(first_check),
+            interrupts_disabled: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlh_sim::SimDuration;
+
+    #[test]
+    fn apic_is_one_shot() {
+        let mut apic = ApicTimer::new();
+        assert!(!apic.take_fire(SimTime::from_millis(5)));
+        apic.program(SimTime::from_millis(10));
+        assert!(apic.is_programmed());
+        assert!(!apic.take_fire(SimTime::from_millis(9)));
+        assert!(apic.take_fire(SimTime::from_millis(10)));
+        assert!(!apic.is_programmed(), "one-shot: cleared after firing");
+        assert!(!apic.take_fire(SimTime::from_millis(11)));
+    }
+
+    #[test]
+    fn watchdog_detects_stall_after_threshold() {
+        let period = SimDuration::from_millis(100);
+        let mut wd = WatchdogState::new(SimTime::from_millis(100));
+        let mut now = SimTime::from_millis(100);
+        // Heartbeat never advances: the third check trips.
+        assert!(!wd.nmi_check(now, period, 3));
+        now += period;
+        assert!(!wd.nmi_check(now, period, 3));
+        now += period;
+        assert!(wd.nmi_check(now, period, 3));
+    }
+
+    #[test]
+    fn watchdog_progress_resets_stall() {
+        let period = SimDuration::from_millis(100);
+        let mut wd = WatchdogState::new(SimTime::from_millis(100));
+        let mut now = SimTime::from_millis(100);
+        assert!(!wd.nmi_check(now, period, 3));
+        assert!(!wd.nmi_check(now, period, 3));
+        wd.heartbeat += 1; // the recurring event ran
+        now += period;
+        assert!(!wd.nmi_check(now, period, 3));
+        assert_eq!(wd.stall_checks, 0);
+        assert!(!wd.nmi_check(now, period, 3));
+        assert!(!wd.nmi_check(now, period, 3));
+        assert!(wd.nmi_check(now, period, 3), "stalls again without progress");
+    }
+
+    #[test]
+    fn watchdog_reset_clears_history() {
+        let period = SimDuration::from_millis(100);
+        let mut wd = WatchdogState::new(SimTime::ZERO);
+        wd.nmi_check(SimTime::ZERO, period, 3);
+        wd.nmi_check(SimTime::ZERO, period, 3);
+        assert_eq!(wd.stall_checks, 2);
+        wd.reset(SimTime::from_millis(500), period);
+        assert_eq!(wd.stall_checks, 0);
+        assert_eq!(wd.next_check, SimTime::from_millis(600));
+    }
+
+    #[test]
+    fn percpu_boots_clean() {
+        let pc = PerCpu::new(SimTime::from_millis(100));
+        assert_eq!(pc.local_irq_count, 0);
+        assert!(!pc.apic.is_programmed());
+        assert!(pc.saved_fs_gs.is_none());
+        assert!(!pc.interrupts_disabled);
+    }
+}

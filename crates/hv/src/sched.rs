@@ -1,0 +1,426 @@
+//! The vCPU scheduler and its redundantly-stored metadata.
+//!
+//! Xen stores "which vCPU is currently running on each CPU" in **three**
+//! places: a per-CPU pointer plus two fields of the per-vCPU structure
+//! (Section V-A, "Ensure consistency within scheduling metadata"). The
+//! context-switch path updates them in separate steps, so an abandoned
+//! execution thread can leave them disagreeing; the scheduler's assertions
+//! then fail, or the wrong register context gets restored. NiLiHype's
+//! enhancement rebuilds the per-vCPU copies from the per-CPU copy (chosen as
+//! the most reliable source).
+
+use std::collections::VecDeque;
+
+use nlh_sim::{CpuId, VcpuId};
+use serde::{Deserialize, Serialize};
+
+/// Execution state of a vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunState {
+    /// Eligible to run, waiting on a runqueue.
+    Runnable,
+    /// Currently executing on some CPU.
+    Running,
+    /// Blocked waiting for an event (e.g. an I/O completion).
+    Blocked,
+    /// Taken offline (domain destroyed or paused for recovery).
+    Offline,
+}
+
+/// Per-vCPU scheduling metadata — including the two *redundant* copies of
+/// "where am I running".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcpuSchedInfo {
+    /// Coarse execution state.
+    pub state: RunState,
+    /// Redundant copy #1: the CPU this vCPU believes it is running on.
+    pub running_on: Option<CpuId>,
+    /// Redundant copy #2: whether this vCPU believes it is the current one.
+    pub is_current: bool,
+    /// The physical CPU this vCPU is pinned to (the paper pins each vCPU to
+    /// a distinct physical CPU).
+    pub pinned_to: CpuId,
+}
+
+/// A scheduling-metadata inconsistency found by [`Scheduler::check_consistency`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedInconsistency {
+    /// The CPU whose view disagrees.
+    pub cpu: CpuId,
+    /// Description of the disagreement (mirrors a Xen `ASSERT` message).
+    pub detail: String,
+}
+
+/// The scheduler: per-CPU runqueues, the per-CPU current pointer, and
+/// per-vCPU metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scheduler {
+    runqueues: Vec<VecDeque<VcpuId>>,
+    /// Per-CPU "current vCPU" — the source of truth recovery trusts.
+    current: Vec<Option<VcpuId>>,
+    vcpus: Vec<VcpuSchedInfo>,
+}
+
+impl Scheduler {
+    /// A scheduler for `num_cpus` CPUs with no vCPUs yet.
+    pub fn new(num_cpus: usize) -> Self {
+        Scheduler {
+            runqueues: vec![VecDeque::new(); num_cpus],
+            current: vec![None; num_cpus],
+            vcpus: Vec::new(),
+        }
+    }
+
+    /// Registers vCPU number `vcpu` pinned to `cpu`, initially runnable.
+    ///
+    /// vCPU ids are issued by the domain layer; they must be registered here
+    /// in id order.
+    pub fn register_vcpu(&mut self, vcpu: VcpuId, cpu: CpuId) {
+        assert_eq!(
+            vcpu.index(),
+            self.vcpus.len(),
+            "vCPUs must be registered in id order"
+        );
+        self.vcpus.push(VcpuSchedInfo {
+            state: RunState::Runnable,
+            running_on: None,
+            is_current: false,
+            pinned_to: cpu,
+        });
+        self.runqueues[cpu.index()].push_back(vcpu);
+    }
+
+    /// Number of registered vCPUs.
+    pub fn num_vcpus(&self) -> usize {
+        self.vcpus.len()
+    }
+
+    /// Metadata for `vcpu`.
+    pub fn vcpu(&self, vcpu: VcpuId) -> &VcpuSchedInfo {
+        &self.vcpus[vcpu.index()]
+    }
+
+    /// Mutable metadata for `vcpu` (fault-injection and recovery surface).
+    pub fn vcpu_mut(&mut self, vcpu: VcpuId) -> &mut VcpuSchedInfo {
+        &mut self.vcpus[vcpu.index()]
+    }
+
+    /// The per-CPU current pointer.
+    pub fn current(&self, cpu: CpuId) -> Option<VcpuId> {
+        self.current[cpu.index()]
+    }
+
+    /// The next runnable vCPU pinned to `cpu`, if any (peek).
+    pub fn peek_next(&self, cpu: CpuId) -> Option<VcpuId> {
+        self.runqueues[cpu.index()]
+            .iter()
+            .copied()
+            .find(|v| self.vcpus[v.index()].state == RunState::Runnable)
+    }
+
+    // --- The three context-switch sub-steps. ---
+    //
+    // The context-switch path in the hypervisor executes these as *separate
+    // micro-ops*; a fault between any two leaves the metadata inconsistent.
+
+    /// Context-switch step 1: update the per-CPU current pointer.
+    pub fn cs_set_percpu_current(&mut self, cpu: CpuId, vcpu: Option<VcpuId>) {
+        self.current[cpu.index()] = vcpu;
+    }
+
+    /// Context-switch step 2: update the vCPU's `running_on` field.
+    pub fn cs_set_running_on(&mut self, vcpu: VcpuId, cpu: Option<CpuId>) {
+        self.vcpus[vcpu.index()].running_on = cpu;
+    }
+
+    /// Context-switch step 3: update the vCPU's `is_current` flag and state.
+    pub fn cs_set_is_current(&mut self, vcpu: VcpuId, is_current: bool) {
+        let info = &mut self.vcpus[vcpu.index()];
+        info.is_current = is_current;
+        info.state = if is_current {
+            RunState::Running
+        } else if info.state == RunState::Running {
+            RunState::Runnable
+        } else {
+            info.state
+        };
+    }
+
+    /// Dequeues `vcpu` from its runqueue (it is about to run).
+    pub fn dequeue(&mut self, vcpu: VcpuId) {
+        let cpu = self.vcpus[vcpu.index()].pinned_to;
+        self.runqueues[cpu.index()].retain(|v| *v != vcpu);
+    }
+
+    /// Enqueues `vcpu` on its pinned CPU's runqueue and marks it runnable.
+    pub fn enqueue(&mut self, vcpu: VcpuId) {
+        let cpu = self.vcpus[vcpu.index()].pinned_to;
+        if !self.runqueues[cpu.index()].contains(&vcpu) {
+            self.runqueues[cpu.index()].push_back(vcpu);
+        }
+        let info = &mut self.vcpus[vcpu.index()];
+        if info.state != RunState::Offline {
+            info.state = RunState::Runnable;
+        }
+    }
+
+    /// Blocks `vcpu` (e.g. waiting for an event channel).
+    pub fn block(&mut self, vcpu: VcpuId) {
+        self.vcpus[vcpu.index()].state = RunState::Blocked;
+    }
+
+    /// Unregisters all vCPUs of a destroyed domain, given their ids.
+    pub fn offline_vcpus(&mut self, vcpus: &[VcpuId]) {
+        for &v in vcpus {
+            self.vcpus[v.index()].state = RunState::Offline;
+            self.vcpus[v.index()].is_current = false;
+            self.vcpus[v.index()].running_on = None;
+            for rq in &mut self.runqueues {
+                rq.retain(|x| *x != v);
+            }
+            for cur in &mut self.current {
+                if *cur == Some(v) {
+                    *cur = None;
+                }
+            }
+        }
+    }
+
+    /// Verifies the three redundant copies agree for `cpu` — the check the
+    /// scheduler's assertions perform on every scheduling decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found (which, in the real hypervisor,
+    /// is an `ASSERT` failure — i.e. a hypervisor panic).
+    pub fn check_consistency(&self, cpu: CpuId) -> Result<(), SchedInconsistency> {
+        let cur = self.current[cpu.index()];
+        if let Some(v) = cur {
+            let info = &self.vcpus[v.index()];
+            if info.running_on != Some(cpu) {
+                return Err(SchedInconsistency {
+                    cpu,
+                    detail: format!(
+                        "percpu current={v} but {v}.running_on={:?}",
+                        info.running_on
+                    ),
+                });
+            }
+            if !info.is_current {
+                return Err(SchedInconsistency {
+                    cpu,
+                    detail: format!("percpu current={v} but {v}.is_current=false"),
+                });
+            }
+        }
+        // No other vCPU may claim to be current on this CPU.
+        for (i, info) in self.vcpus.iter().enumerate() {
+            let v = VcpuId::from_index(i);
+            if Some(v) != cur && info.running_on == Some(cpu) && info.is_current {
+                return Err(SchedInconsistency {
+                    cpu,
+                    detail: format!("{v} claims cpu but percpu current={cur:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// NiLiHype's "ensure consistency within scheduling metadata"
+    /// enhancement: rebuild every per-vCPU copy from the per-CPU copies.
+    /// Returns the number of fields repaired.
+    pub fn make_consistent_from_percpu(&mut self) -> usize {
+        let mut fixed = 0;
+        // The per-CPU copies are the chosen source of truth, but they can
+        // themselves be conflicted after corruption (two CPUs claiming one
+        // vCPU, or a claim on an offline vCPU): keep the first claim, drop
+        // the rest.
+        let mut seen: Vec<VcpuId> = Vec::new();
+        for c in 0..self.current.len() {
+            if let Some(v) = self.current[c] {
+                let offline = self
+                    .vcpus
+                    .get(v.index())
+                    .map(|i| i.state == RunState::Offline)
+                    .unwrap_or(true);
+                if seen.contains(&v) || offline {
+                    self.current[c] = None;
+                    fixed += 1;
+                } else {
+                    seen.push(v);
+                }
+            }
+        }
+        let current = self.current.clone();
+        for (i, info) in self.vcpus.iter_mut().enumerate() {
+            let v = VcpuId::from_index(i);
+            let claimed: Option<CpuId> = current
+                .iter()
+                .enumerate()
+                .find(|(_, c)| **c == Some(v))
+                .map(|(c, _)| CpuId::from_index(c));
+            let want_running_on = claimed;
+            let want_is_current = claimed.is_some();
+            if info.running_on != want_running_on {
+                info.running_on = want_running_on;
+                fixed += 1;
+            }
+            if info.is_current != want_is_current {
+                info.is_current = want_is_current;
+                fixed += 1;
+            }
+            if want_is_current && info.state != RunState::Running && info.state != RunState::Offline
+            {
+                info.state = RunState::Running;
+                fixed += 1;
+            }
+            if !want_is_current && info.state == RunState::Running {
+                info.state = RunState::Runnable;
+                fixed += 1;
+            }
+        }
+        fixed
+    }
+
+    /// Re-enqueues every runnable, non-current vCPU that fell off its
+    /// runqueue (e.g. a vCPU descheduled by an abandoned context switch).
+    /// Returns how many were re-enqueued. Run by recovery after
+    /// [`Scheduler::make_consistent_from_percpu`].
+    pub fn requeue_runnable(&mut self) -> usize {
+        let mut fixed = 0;
+        for i in 0..self.vcpus.len() {
+            let v = VcpuId::from_index(i);
+            let info = self.vcpus[i];
+            if info.state == RunState::Runnable
+                && !info.is_current
+                && !self.runqueues[info.pinned_to.index()].contains(&v)
+            {
+                self.runqueues[info.pinned_to.index()].push_back(v);
+                fixed += 1;
+            }
+        }
+        fixed
+    }
+
+    /// Checks every CPU's consistency; used by invariant tests.
+    pub fn check_all(&self) -> Result<(), SchedInconsistency> {
+        for c in 0..self.current.len() {
+            self.check_consistency(CpuId::from_index(c))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched_with(n_cpu: usize, n_vcpu: usize) -> Scheduler {
+        let mut s = Scheduler::new(n_cpu);
+        for i in 0..n_vcpu {
+            s.register_vcpu(VcpuId::from_index(i), CpuId::from_index(i));
+        }
+        s
+    }
+
+    /// Runs the full three-step context switch to `vcpu` on `cpu`.
+    fn full_switch(s: &mut Scheduler, cpu: CpuId, vcpu: VcpuId) {
+        s.dequeue(vcpu);
+        s.cs_set_percpu_current(cpu, Some(vcpu));
+        s.cs_set_running_on(vcpu, Some(cpu));
+        s.cs_set_is_current(vcpu, true);
+    }
+
+    #[test]
+    fn full_context_switch_is_consistent() {
+        let mut s = sched_with(2, 2);
+        full_switch(&mut s, CpuId(0), VcpuId(0));
+        assert!(s.check_consistency(CpuId(0)).is_ok());
+        assert_eq!(s.current(CpuId(0)), Some(VcpuId(0)));
+        assert_eq!(s.vcpu(VcpuId(0)).state, RunState::Running);
+    }
+
+    #[test]
+    fn partial_context_switch_is_inconsistent() {
+        let mut s = sched_with(2, 2);
+        // Fault strikes after step 1 of 3.
+        s.cs_set_percpu_current(CpuId(0), Some(VcpuId(0)));
+        let err = s.check_consistency(CpuId(0)).unwrap_err();
+        assert!(err.detail.contains("running_on"), "{}", err.detail);
+    }
+
+    #[test]
+    fn partial_switch_after_step2_still_inconsistent() {
+        let mut s = sched_with(2, 2);
+        s.cs_set_percpu_current(CpuId(0), Some(VcpuId(0)));
+        s.cs_set_running_on(VcpuId(0), Some(CpuId(0)));
+        let err = s.check_consistency(CpuId(0)).unwrap_err();
+        assert!(err.detail.contains("is_current"), "{}", err.detail);
+    }
+
+    #[test]
+    fn make_consistent_repairs_partial_switch() {
+        let mut s = sched_with(2, 2);
+        s.cs_set_percpu_current(CpuId(0), Some(VcpuId(0)));
+        assert!(s.check_consistency(CpuId(0)).is_err());
+        let fixed = s.make_consistent_from_percpu();
+        assert!(fixed >= 2, "repaired running_on and is_current: {fixed}");
+        assert!(s.check_all().is_ok());
+        assert_eq!(s.vcpu(VcpuId(0)).running_on, Some(CpuId(0)));
+    }
+
+    #[test]
+    fn make_consistent_clears_stale_claim() {
+        let mut s = sched_with(2, 2);
+        full_switch(&mut s, CpuId(1), VcpuId(1));
+        // Corrupt: vCPU 0 claims CPU 1 too.
+        s.cs_set_running_on(VcpuId(0), Some(CpuId(1)));
+        s.cs_set_is_current(VcpuId(0), true);
+        assert!(s.check_consistency(CpuId(1)).is_err());
+        s.make_consistent_from_percpu();
+        assert!(s.check_all().is_ok());
+        assert!(!s.vcpu(VcpuId(0)).is_current);
+        assert!(s.vcpu(VcpuId(1)).is_current);
+    }
+
+    #[test]
+    fn make_consistent_is_idempotent() {
+        let mut s = sched_with(4, 4);
+        full_switch(&mut s, CpuId(2), VcpuId(2));
+        s.cs_set_percpu_current(CpuId(3), Some(VcpuId(3)));
+        s.make_consistent_from_percpu();
+        assert_eq!(s.make_consistent_from_percpu(), 0);
+    }
+
+    #[test]
+    fn peek_next_respects_runnable_only() {
+        let mut s = sched_with(2, 2);
+        assert_eq!(s.peek_next(CpuId(0)), Some(VcpuId(0)));
+        s.block(VcpuId(0));
+        assert_eq!(s.peek_next(CpuId(0)), None);
+        s.enqueue(VcpuId(0));
+        assert_eq!(s.peek_next(CpuId(0)), Some(VcpuId(0)));
+    }
+
+    #[test]
+    fn enqueue_is_idempotent() {
+        let mut s = sched_with(1, 1);
+        s.enqueue(VcpuId(0));
+        s.enqueue(VcpuId(0));
+        s.dequeue(VcpuId(0));
+        assert_eq!(s.peek_next(CpuId(0)), None, "no duplicate entries");
+    }
+
+    #[test]
+    fn offline_removes_all_traces() {
+        let mut s = sched_with(2, 2);
+        full_switch(&mut s, CpuId(0), VcpuId(0));
+        s.offline_vcpus(&[VcpuId(0)]);
+        assert_eq!(s.current(CpuId(0)), None);
+        assert_eq!(s.vcpu(VcpuId(0)).state, RunState::Offline);
+        assert!(s.check_all().is_ok());
+        // Offline vCPUs stay offline through enqueue attempts.
+        s.enqueue(VcpuId(0));
+        assert_eq!(s.vcpu(VcpuId(0)).state, RunState::Offline);
+    }
+}

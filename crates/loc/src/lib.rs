@@ -1,0 +1,239 @@
+//! A small CLOC-like line counter, used to regenerate the paper's
+//! implementation-complexity table (Table IV, Section VII-D).
+//!
+//! The paper counts the lines added/modified in the Xen source to implement
+//! NiLiHype and ReHype, partitioned into (1) code that executes during
+//! normal operation and (2) code that executes only during recovery. This
+//! reproduction applies the same methodology to its own source tree: the
+//! `nlh-core` crate *is* the recovery implementation, and its modules map
+//! cleanly onto the paper's two categories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// Line counts for one file or aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineCounts {
+    /// Lines containing code (anything that is not blank or comment-only).
+    pub code: u64,
+    /// Comment-only lines (`//`, `///`, `//!` and block comments).
+    pub comment: u64,
+    /// Blank lines.
+    pub blank: u64,
+}
+
+impl LineCounts {
+    /// Total lines.
+    pub fn total(&self) -> u64 {
+        self.code + self.comment + self.blank
+    }
+
+    /// Accumulates another count.
+    pub fn add(&mut self, other: LineCounts) {
+        self.code += other.code;
+        self.comment += other.comment;
+        self.blank += other.blank;
+    }
+}
+
+/// Counts lines in Rust source text.
+///
+/// Comment detection handles line comments, doc comments, and (non-nested
+/// tracking of) block comments; a line with code before a trailing comment
+/// counts as code, as CLOC does.
+pub fn count_str(src: &str) -> LineCounts {
+    let mut counts = LineCounts::default();
+    let mut in_block_comment = false;
+    for line in src.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            counts.blank += 1;
+            continue;
+        }
+        if in_block_comment {
+            counts.comment += 1;
+            if trimmed.contains("*/") {
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("//") {
+            counts.comment += 1;
+            continue;
+        }
+        if trimmed.starts_with("/*") {
+            counts.comment += 1;
+            if !trimmed.contains("*/") {
+                in_block_comment = true;
+            }
+            continue;
+        }
+        counts.code += 1;
+    }
+    counts
+}
+
+/// Counts lines in a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the file.
+pub fn count_file(path: &Path) -> std::io::Result<LineCounts> {
+    Ok(count_str(&std::fs::read_to_string(path)?))
+}
+
+/// Counts all `.rs` files under `dir`, recursively, skipping `target`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn count_dir(dir: &Path) -> std::io::Result<LineCounts> {
+    let mut total = LineCounts::default();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().map(|n| n == "target").unwrap_or(false) {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+                total.add(count_file(&path)?);
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Strips `#[cfg(test)] mod tests { ... }` blocks from source before
+/// counting, so test code is not attributed to the mechanism (the paper
+/// counts only the hypervisor changes).
+pub fn strip_tests(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut lines = src.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // Skip until the matching closing brace.
+            let mut depth = 0i64;
+            let mut started = false;
+            for l in lines.by_ref() {
+                depth += l.matches('{').count() as i64;
+                depth -= l.matches('}').count() as i64;
+                if l.contains('{') {
+                    started = true;
+                }
+                if started && depth <= 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Counts code lines of one file with its test modules stripped.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the file.
+pub fn count_file_no_tests(path: &Path) -> std::io::Result<LineCounts> {
+    Ok(count_str(&strip_tests(&std::fs::read_to_string(path)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_source() {
+        let src = "\
+// a comment
+fn main() {
+    let x = 1; // trailing comment is still code
+
+}
+";
+        let c = count_str(src);
+        assert_eq!(c.comment, 1);
+        assert_eq!(c.code, 3);
+        assert_eq!(c.blank, 1);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/*\n multi\n line\n*/\nfn f() {}\n";
+        let c = count_str(src);
+        assert_eq!(c.comment, 4);
+        assert_eq!(c.code, 1);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "//! crate doc\n/// item doc\npub fn f() {}\n";
+        let c = count_str(src);
+        assert_eq!(c.comment, 2);
+        assert_eq!(c.code, 1);
+    }
+
+    #[test]
+    fn strip_tests_removes_test_module() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert!(true);
+    }
+}
+fn also_real() {}
+";
+        let stripped = strip_tests(src);
+        assert!(stripped.contains("fn real"));
+        assert!(stripped.contains("fn also_real"));
+        assert!(!stripped.contains("assert!(true)"));
+        let c = count_str(&stripped);
+        assert_eq!(c.code, 2);
+    }
+
+    #[test]
+    fn empty_source() {
+        let c = count_str("");
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = LineCounts {
+            code: 1,
+            comment: 2,
+            blank: 3,
+        };
+        a.add(LineCounts {
+            code: 10,
+            comment: 20,
+            blank: 30,
+        });
+        assert_eq!(a.code, 11);
+        assert_eq!(a.total(), 66);
+    }
+
+    #[test]
+    fn counts_this_crate() {
+        // Self-measurement: this file exists and has plenty of lines.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let c = count_dir(&dir).unwrap();
+        assert!(c.code > 50, "{c:?}");
+        assert!(c.comment > 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Typed identifiers used throughout the simulated virtualization platform.
+//!
+//! Newtypes keep physically distinct index spaces (physical CPUs, domains,
+//! vCPUs, page frames, locks, interrupt vectors) from being confused at
+//! compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical CPU of the simulated machine.
+    CpuId,
+    "cpu"
+);
+id_type!(
+    /// A domain (VM). Domain 0 is the privileged VM (PrivVM / Dom0).
+    DomId,
+    "dom"
+);
+id_type!(
+    /// A virtual CPU, globally numbered across all domains.
+    VcpuId,
+    "vcpu"
+);
+id_type!(
+    /// A physical page frame number.
+    PageNum,
+    "pfn"
+);
+id_type!(
+    /// A spinlock in the hypervisor (static segment or heap-allocated).
+    LockId,
+    "lock"
+);
+id_type!(
+    /// A hardware interrupt vector.
+    IrqVector,
+    "irq"
+);
+
+impl DomId {
+    /// The privileged VM (Dom0 in Xen terms).
+    pub const PRIV: DomId = DomId(0);
+
+    /// Whether this is the privileged VM.
+    pub const fn is_priv(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(CpuId(3).to_string(), "cpu3");
+        assert_eq!(DomId(0).to_string(), "dom0");
+        assert_eq!(VcpuId(7).to_string(), "vcpu7");
+        assert_eq!(PageNum(12).to_string(), "pfn12");
+        assert_eq!(LockId(1).to_string(), "lock1");
+        assert_eq!(IrqVector(32).to_string(), "irq32");
+    }
+
+    #[test]
+    fn priv_domain_is_zero() {
+        assert!(DomId::PRIV.is_priv());
+        assert!(!DomId(1).is_priv());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(CpuId::from_index(5).index(), 5);
+        assert_eq!(PageNum::from_index(0).index(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(CpuId(1) < CpuId(2));
+        assert_eq!(VcpuId::from(4u32), VcpuId(4));
+    }
+}

@@ -1,0 +1,357 @@
+//! Simulated time and CPU cycle accounting.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant of simulated time, in nanoseconds since simulated boot.
+///
+/// `SimTime` is totally ordered and only ever moves forward in the
+/// simulation. Arithmetic with [`SimDuration`] saturates on overflow, which
+/// in practice never happens (a `u64` of nanoseconds is ~584 years).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulated boot instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time far in the future, used as an "infinite" deadline.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    /// Creates a `SimTime` from nanoseconds since boot.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a `SimTime` from microseconds since boot.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a `SimTime` from milliseconds since boot.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a `SimTime` from seconds since boot.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulated boot.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulated boot (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since simulated boot (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole simulated seconds since boot (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Duration elapsed since `earlier`, or [`SimDuration::ZERO`] if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0 as f64 / 1e9)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// The duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+/// A count of CPU clock cycles.
+///
+/// The simulated hypervisor accounts all work in cycles; [`Cycles::to_duration`]
+/// converts to wall time given a clock frequency in MHz (the paper's Nehalem
+/// machines run around 2.5 GHz).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Converts a cycle count to simulated time at `freq_mhz` megahertz.
+    ///
+    /// One cycle at 1000 MHz is exactly 1 ns.
+    pub fn to_duration(self, freq_mhz: u64) -> SimDuration {
+        debug_assert!(freq_mhz > 0, "clock frequency must be positive");
+        SimDuration::from_nanos(self.0.saturating_mul(1_000) / freq_mhz)
+    }
+
+    /// Builds a cycle count that spans `d` at `freq_mhz` megahertz.
+    pub fn from_duration(d: SimDuration, freq_mhz: u64) -> Cycles {
+        Cycles(d.as_nanos().saturating_mul(freq_mhz) / 1_000)
+    }
+
+    /// The raw cycle count.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(other.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(2);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_micros(), 2_500);
+        assert_eq!((a - b).as_micros(), 1_500);
+        assert_eq!((b - a), SimDuration::ZERO, "subtraction saturates");
+        assert_eq!((b * 4).as_millis(), 2);
+        assert_eq!((a / 2).as_millis(), 1);
+    }
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn saturating_since_is_zero_for_future() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(2);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn cycles_to_duration_roundtrip() {
+        // 2500 MHz: 2500 cycles == 1 us.
+        let c = Cycles(2_500_000);
+        let d = c.to_duration(2_500);
+        assert_eq!(d.as_micros(), 1_000);
+        assert_eq!(Cycles::from_duration(d, 2_500), c);
+    }
+
+    #[test]
+    fn cycles_at_1ghz_is_nanoseconds() {
+        assert_eq!(Cycles(123).to_duration(1_000).as_nanos(), 123);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(3)), "3.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(22)), "22.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2)), "2.000000s");
+    }
+
+    #[test]
+    fn far_future_ordering() {
+        assert!(SimTime::FAR_FUTURE > SimTime::from_secs(1_000_000));
+        assert_eq!(SimTime::ZERO.min(SimTime::FAR_FUTURE), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.max(SimTime::FAR_FUTURE), SimTime::FAR_FUTURE);
+    }
+}

@@ -1,0 +1,179 @@
+//! A bounded in-memory trace ring for debugging simulation trials.
+//!
+//! Fault-injection campaigns run tens of thousands of trials; writing logs to
+//! stdout would drown the results. Instead each trial carries a [`TraceRing`]
+//! that keeps the most recent events; when a trial misbehaves its tail can be
+//! dumped for inspection.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::SimTime;
+
+/// Importance of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Fine-grained execution steps.
+    Debug,
+    /// Notable simulation events (hypercalls, interrupts).
+    Info,
+    /// Faults, detections and recovery actions.
+    Event,
+}
+
+/// A single recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time at which the event occurred.
+    pub at: SimTime,
+    /// Importance of the event.
+    pub level: TraceLevel,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?}: {}", self.at, self.level, self.message)
+    }
+}
+
+/// A fixed-capacity ring buffer of trace entries.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    min_level: TraceLevel,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring that keeps the most recent `capacity` entries at or
+    /// above `min_level`.
+    pub fn new(capacity: usize, min_level: TraceLevel) -> Self {
+        TraceRing {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            min_level,
+            dropped: 0,
+        }
+    }
+
+    /// A ring that records nothing (zero capacity). Useful for bulk
+    /// campaigns where tracing overhead matters.
+    pub fn disabled() -> Self {
+        TraceRing::new(0, TraceLevel::Event)
+    }
+
+    /// Records an event if it meets the level threshold and capacity is
+    /// non-zero.
+    pub fn record(&mut self, at: SimTime, level: TraceLevel, message: impl Into<String>) {
+        if self.capacity == 0 || level < self.min_level {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            level,
+            message: message.into(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained tail as a multi-line string.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier entries dropped ...\n", self.dropped));
+        }
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for TraceRing {
+    /// A modest ring keeping the last 256 `Info`-and-above events.
+    fn default() -> Self {
+        TraceRing::new(256, TraceLevel::Info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_orders_entries() {
+        let mut ring = TraceRing::new(10, TraceLevel::Debug);
+        ring.record(SimTime::from_millis(1), TraceLevel::Info, "a");
+        ring.record(SimTime::from_millis(2), TraceLevel::Event, "b");
+        let msgs: Vec<_> = ring.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["a", "b"]);
+    }
+
+    #[test]
+    fn respects_level_threshold() {
+        let mut ring = TraceRing::new(10, TraceLevel::Event);
+        ring.record(SimTime::ZERO, TraceLevel::Debug, "noise");
+        ring.record(SimTime::ZERO, TraceLevel::Info, "more noise");
+        ring.record(SimTime::ZERO, TraceLevel::Event, "fault");
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.entries().next().unwrap().message, "fault");
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut ring = TraceRing::new(2, TraceLevel::Debug);
+        for i in 0..5 {
+            ring.record(SimTime::from_nanos(i), TraceLevel::Info, format!("e{i}"));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let msgs: Vec<_> = ring.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["e3", "e4"]);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut ring = TraceRing::disabled();
+        ring.record(SimTime::ZERO, TraceLevel::Event, "x");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn dump_mentions_dropped() {
+        let mut ring = TraceRing::new(1, TraceLevel::Debug);
+        ring.record(SimTime::ZERO, TraceLevel::Info, "one");
+        ring.record(SimTime::ZERO, TraceLevel::Info, "two");
+        let dump = ring.dump();
+        assert!(dump.contains("1 earlier entries dropped"));
+        assert!(dump.contains("two"));
+        assert!(!dump.contains("one\n"));
+    }
+}

@@ -1,0 +1,229 @@
+//! BlkBench: the block-device stress workload.
+//!
+//! BlkBench "creates, copies, reads, writes and removes multiple 1 MB files
+//! containing random content", with guest-side caching disabled so every
+//! block actually reaches the device — i.e. travels the paravirtual path:
+//! a grant + event-channel request to the PrivVM's driver domain, answered
+//! by a completion event (Section VI-A). Each file is a sequence of block
+//! I/O requests; the oracle checks that every file's content round-trips.
+
+use std::collections::VecDeque;
+
+use nlh_hv::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
+use nlh_hv::hypercalls::HcRequest;
+use nlh_hv::interrupts::GuestEventKind;
+use nlh_sim::{Pcg64, SimDuration, SimTime};
+
+use crate::WorkloadCore;
+
+/// Phase of the current file operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Issue the syscall that creates/opens the file.
+    Open,
+    /// Issue the next block request.
+    IssueBlock,
+    /// Waiting for the completion of an outstanding block request.
+    WaitBlock { req: u64 },
+    /// Issue the syscall that removes the file.
+    Remove,
+}
+
+/// The BlkBench-like workload.
+#[derive(Debug)]
+pub struct BlkBench {
+    core: WorkloadCore,
+    phase: Phase,
+    /// Blocks remaining in the current file.
+    blocks_left: usize,
+    /// Blocks per file (a "1 MB file" worth of requests).
+    blocks_per_file: usize,
+    next_req: u64,
+    block_prepared: bool,
+    files_completed: u64,
+    /// Completions that arrived (possibly while not yet waiting).
+    completions: VecDeque<u64>,
+}
+
+impl BlkBench {
+    /// Creates a BlkBench run of the given duration.
+    pub fn new(seed: u64, duration: SimDuration, tls_sensitivity: f64) -> Self {
+        BlkBench {
+            core: WorkloadCore::new(seed, duration, tls_sensitivity),
+            phase: Phase::Open,
+            blocks_left: 0,
+            blocks_per_file: 8,
+            next_req: 1,
+            block_prepared: false,
+            files_completed: 0,
+            completions: VecDeque::new(),
+        }
+    }
+
+    /// Files fully written and verified so far.
+    pub fn files_completed(&self) -> u64 {
+        self.files_completed
+    }
+}
+
+impl GuestProgram for BlkBench {
+    fn name(&self) -> &str {
+        "BlkBench"
+    }
+
+    fn next_op(&mut self, now: SimTime, _rng: &mut Pcg64) -> GuestOp {
+        if let Phase::WaitBlock { req } = self.phase {
+            // Completion may have arrived while we were last running.
+            if self.completions.iter().any(|r| *r == req) {
+                self.completions.retain(|r| *r != req);
+                self.blocks_left -= 1;
+                self.phase = if self.blocks_left == 0 {
+                    Phase::Remove
+                } else {
+                    Phase::IssueBlock
+                };
+            } else {
+                return GuestOp::Block;
+            }
+        }
+
+        // Only start new files inside the run window; outstanding work is
+        // always drained first (above), so completion is clean.
+        match self.phase {
+            Phase::Open => {
+                if self.core.past_end(now) {
+                    self.core.finished = true;
+                    return GuestOp::Done;
+                }
+                self.blocks_left = self.blocks_per_file;
+                self.phase = Phase::IssueBlock;
+                GuestOp::Syscall
+            }
+            Phase::IssueBlock => {
+                if !self.block_prepared {
+                    // Generate the block's random content (the files hold
+                    // random data; caching is off, so every block is real
+                    // work in the guest before it hits the device).
+                    self.block_prepared = true;
+                    let us = 200 + (self.next_req % 7) * 40;
+                    return GuestOp::Compute(SimDuration::from_micros(us));
+                }
+                self.block_prepared = false;
+                let req = self.next_req;
+                self.next_req += 1;
+                self.phase = Phase::WaitBlock { req };
+                GuestOp::Hypercall(HcRequest::BlockIo { req })
+            }
+            Phase::Remove => {
+                self.files_completed += 1;
+                self.phase = Phase::Open;
+                // Some files also pin/unpin page-table pages (mmap'd I/O).
+                if self.core.rng.gen_bool(0.3) {
+                    GuestOp::Hypercall(HcRequest::Multicall(vec![
+                        HcRequest::PinPages(1),
+                        HcRequest::UnpinPages(1),
+                    ]))
+                } else {
+                    GuestOp::Syscall
+                }
+            }
+            Phase::WaitBlock { .. } => unreachable!("handled above"),
+        }
+    }
+
+    fn notice(&mut self, _now: SimTime, notice: GuestNotice) {
+        if self.core.common_notice(&notice) {
+            return;
+        }
+        if let GuestNotice::Event(GuestEventKind::BlkComplete { req }) = notice {
+            // Duplicates (from retried completions) are harmless: the queue
+            // is consulted by request id.
+            if !self.completions.contains(&req) {
+                self.completions.push_back(req);
+            }
+        }
+    }
+
+    fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict {
+        self.core.verdict(now, deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlh_hv::domain::FailReason;
+
+    /// Drives the workload standalone, acking every BlockIo immediately.
+    fn drive(w: &mut BlkBench, steps: usize) -> (u64, SimTime) {
+        let mut rng = Pcg64::seed_from_u64(0);
+        let mut now = SimTime::ZERO;
+        let mut issued = 0;
+        for _ in 0..steps {
+            match w.next_op(now, &mut rng) {
+                GuestOp::Hypercall(HcRequest::BlockIo { req }) => {
+                    issued += 1;
+                    w.notice(now, GuestNotice::Event(GuestEventKind::BlkComplete { req }));
+                }
+                GuestOp::Done => break,
+                GuestOp::Block => panic!("should never block: completions are instant"),
+                GuestOp::Compute(d) => now += d,
+                _ => {}
+            }
+            now += SimDuration::from_micros(200);
+        }
+        (issued, now)
+    }
+
+    #[test]
+    fn completes_files_and_finishes() {
+        let mut w = BlkBench::new(1, SimDuration::from_millis(20), 0.5);
+        let (issued, now) = drive(&mut w, 100_000);
+        assert!(issued >= 8, "at least one file's worth of blocks");
+        assert!(w.files_completed() >= 1);
+        assert!(w.verdict(now, now + SimDuration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn blocks_forever_without_completion() {
+        let mut w = BlkBench::new(2, SimDuration::from_secs(10), 0.5);
+        let mut rng = Pcg64::seed_from_u64(0);
+        let mut now = SimTime::ZERO;
+        // Open, prepare the block's content, then the block request.
+        w.next_op(now, &mut rng);
+        assert!(matches!(w.next_op(now, &mut rng), GuestOp::Compute(_)));
+        match w.next_op(now, &mut rng) {
+            GuestOp::Hypercall(HcRequest::BlockIo { .. }) => {}
+            op => panic!("expected BlockIo, got {op:?}"),
+        }
+        // The completion never arrives: the guest blocks and the oracle
+        // eventually reports Incomplete.
+        for _ in 0..10 {
+            now += SimDuration::from_secs(2);
+            assert_eq!(w.next_op(now, &mut rng), GuestOp::Block);
+        }
+        assert_eq!(
+            w.verdict(SimTime::from_secs(100), SimTime::from_secs(50)),
+            WorkloadVerdict::Failed(FailReason::Incomplete)
+        );
+    }
+
+    #[test]
+    fn duplicate_completions_are_deduplicated() {
+        let mut w = BlkBench::new(3, SimDuration::from_secs(10), 0.5);
+        let mut rng = Pcg64::seed_from_u64(0);
+        w.next_op(SimTime::ZERO, &mut rng); // open
+        w.next_op(SimTime::ZERO, &mut rng); // prepare content
+        let req = match w.next_op(SimTime::ZERO, &mut rng) {
+            GuestOp::Hypercall(HcRequest::BlockIo { req }) => req,
+            op => panic!("expected BlockIo, got {op:?}"),
+        };
+        for _ in 0..3 {
+            w.notice(
+                SimTime::ZERO,
+                GuestNotice::Event(GuestEventKind::BlkComplete { req }),
+            );
+        }
+        assert_eq!(w.completions.len(), 1);
+    }
+}

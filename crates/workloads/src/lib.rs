@@ -1,0 +1,160 @@
+//! The paper's synthetic benchmarks (Section VI-A).
+//!
+//! Three benchmarks stress different parts of the virtualization platform:
+//!
+//! * [`BlkBench`] — the block-device interface: creates, writes, reads and
+//!   removes files with guest caching disabled, so every block operation
+//!   reaches the hypervisor (grant + event-channel traffic to the PrivVM's
+//!   driver domain, served by [`PrivVmDriver`]).
+//! * [`UnixBench`] — a mix of programs stressing hypercalls, especially
+//!   virtual-memory management (page pinning/unpinning, memory
+//!   reservations, batched multicalls) plus frequent syscalls (which trap
+//!   through the hypervisor on x86-64).
+//! * [`NetBench`] — a user-level UDP ping responder used both as a workload
+//!   and as the paper's recovery-latency probe: an external sender emits
+//!   one packet per millisecond and measures gaps in the reply stream.
+//!
+//! Each benchmark doubles as its own correctness oracle, mirroring the
+//! paper's golden-copy comparison: a workload fails on corrupted data, lost
+//! or failed syscalls, or failure to complete.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blkbench;
+mod netbench;
+mod privvm;
+mod unixbench;
+
+pub use blkbench::BlkBench;
+pub use netbench::NetBench;
+pub use privvm::PrivVmDriver;
+pub use unixbench::UnixBench;
+
+use nlh_sim::SimTime;
+
+/// Shared workload bookkeeping: run window, oracle flags, TLS sensitivity.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkloadCore {
+    pub rng: nlh_sim::Pcg64,
+    /// End of the benchmark's run window (set on first scheduling).
+    pub end: Option<SimTime>,
+    pub duration: nlh_sim::SimDuration,
+    pub finished: bool,
+    /// Golden-copy oracle: data corrupted.
+    pub corrupted: bool,
+    /// A syscall failed or a TLS-dependent process crashed.
+    pub syscall_failed: bool,
+    /// Probability that a TLS clobber hits a process actively using TLS.
+    pub tls_sensitivity: f64,
+}
+
+impl WorkloadCore {
+    pub fn new(seed: u64, duration: nlh_sim::SimDuration, tls_sensitivity: f64) -> Self {
+        WorkloadCore {
+            rng: nlh_sim::Pcg64::seed_from_u64(seed),
+            end: None,
+            duration,
+            finished: false,
+            corrupted: false,
+            syscall_failed: false,
+            tls_sensitivity,
+        }
+    }
+
+    /// Establishes the run window on first call; returns whether the window
+    /// has elapsed.
+    pub fn past_end(&mut self, now: SimTime) -> bool {
+        let end = *self.end.get_or_insert(now + self.duration);
+        now >= end
+    }
+
+    /// Handles the oracle-relevant notices common to all benchmarks.
+    /// Returns `true` if the notice was consumed.
+    pub fn common_notice(&mut self, notice: &nlh_hv::domain::GuestNotice) -> bool {
+        use nlh_hv::domain::GuestNotice;
+        match notice {
+            GuestNotice::DataCorrupted => {
+                self.corrupted = true;
+                true
+            }
+            GuestNotice::TlsClobbered => {
+                let p = self.tls_sensitivity;
+                if self.rng.gen_bool(p) {
+                    self.syscall_failed = true;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The verdict shared by all benchmarks.
+    pub fn verdict(&self, now: SimTime, deadline: SimTime) -> nlh_hv::domain::WorkloadVerdict {
+        use nlh_hv::domain::{FailReason, WorkloadVerdict};
+        if self.corrupted {
+            return WorkloadVerdict::Failed(FailReason::OutputMismatch);
+        }
+        if self.syscall_failed {
+            return WorkloadVerdict::Failed(FailReason::SyscallFailed);
+        }
+        if self.finished {
+            return WorkloadVerdict::CompletedOk;
+        }
+        if now >= deadline {
+            WorkloadVerdict::Failed(FailReason::Incomplete)
+        } else {
+            WorkloadVerdict::Running
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlh_hv::domain::{FailReason, GuestNotice, WorkloadVerdict};
+    use nlh_sim::SimDuration;
+
+    #[test]
+    fn core_window_is_lazy() {
+        let mut c = WorkloadCore::new(1, SimDuration::from_secs(10), 0.5);
+        assert!(!c.past_end(SimTime::from_secs(5)));
+        // Window starts at 5s, so 14s is inside, 15s is past.
+        assert!(!c.past_end(SimTime::from_secs(14)));
+        assert!(c.past_end(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn corruption_wins_over_completion() {
+        let mut c = WorkloadCore::new(1, SimDuration::from_secs(1), 0.5);
+        c.finished = true;
+        c.common_notice(&GuestNotice::DataCorrupted);
+        assert_eq!(
+            c.verdict(SimTime::from_secs(2), SimTime::from_secs(3)),
+            WorkloadVerdict::Failed(FailReason::OutputMismatch)
+        );
+    }
+
+    #[test]
+    fn incomplete_after_deadline() {
+        let c = WorkloadCore::new(1, SimDuration::from_secs(1), 0.5);
+        assert_eq!(
+            c.verdict(SimTime::from_secs(1), SimTime::from_secs(2)),
+            WorkloadVerdict::Running
+        );
+        assert_eq!(
+            c.verdict(SimTime::from_secs(2), SimTime::from_secs(2)),
+            WorkloadVerdict::Failed(FailReason::Incomplete)
+        );
+    }
+
+    #[test]
+    fn tls_sensitivity_extremes() {
+        let mut never = WorkloadCore::new(1, SimDuration::from_secs(1), 0.0);
+        never.common_notice(&GuestNotice::TlsClobbered);
+        assert!(!never.syscall_failed);
+        let mut always = WorkloadCore::new(1, SimDuration::from_secs(1), 1.0);
+        always.common_notice(&GuestNotice::TlsClobbered);
+        assert!(always.syscall_failed);
+    }
+}

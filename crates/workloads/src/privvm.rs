@@ -1,0 +1,196 @@
+//! The PrivVM (Dom0) workload: device-driver domain + management agent.
+//!
+//! The privileged VM hosts the block-device driver that serves BlkBench's
+//! paravirtual I/O requests, performs occasional management work, and — in
+//! the 3AppVM configuration — creates the post-recovery BlkBench AppVM by
+//! issuing a `domctl` create hypercall at a scheduled time (Section VI-A).
+
+use std::collections::VecDeque;
+
+use nlh_hv::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
+use nlh_hv::hypercalls::HcRequest;
+use nlh_hv::interrupts::GuestEventKind;
+use nlh_sim::{DomId, Pcg64, SimDuration, SimTime};
+
+/// What the driver is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriverPhase {
+    /// Waiting for requests.
+    Ready,
+    /// Performing the "disk access" for a request.
+    Disk { from: DomId, req: u64 },
+    /// Sending the completion event.
+    Complete { from: DomId, req: u64 },
+}
+
+/// The PrivVM driver/management workload.
+#[derive(Debug)]
+pub struct PrivVmDriver {
+    rng: Pcg64,
+    inbox: VecDeque<(DomId, u64)>,
+    phase: DriverPhase,
+    /// Simulated disk service time per request.
+    disk_latency: SimDuration,
+    /// When to issue the `domctl` create for a queued domain spec, if ever.
+    create_at: Option<SimTime>,
+    created: bool,
+    requests_served: u64,
+    crashed_oracle: bool,
+}
+
+impl PrivVmDriver {
+    /// Creates the driver. `create_at` schedules a `domctl` domain creation
+    /// (the specification itself is queued on the hypervisor with
+    /// [`nlh_hv::Hypervisor::queue_domain_creation`]).
+    pub fn new(seed: u64, create_at: Option<SimTime>) -> Self {
+        PrivVmDriver {
+            rng: Pcg64::seed_from_u64(seed),
+            inbox: VecDeque::new(),
+            phase: DriverPhase::Ready,
+            disk_latency: SimDuration::from_micros(400),
+            create_at,
+            created: false,
+            requests_served: 0,
+        crashed_oracle: false,
+        }
+    }
+
+    /// Block requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Whether the scheduled domain creation has been issued.
+    pub fn creation_issued(&self) -> bool {
+        self.created
+    }
+}
+
+impl GuestProgram for PrivVmDriver {
+    fn name(&self) -> &str {
+        "PrivVmDriver"
+    }
+
+    fn next_op(&mut self, now: SimTime, _rng: &mut Pcg64) -> GuestOp {
+        match self.phase {
+            DriverPhase::Disk { from, req } => {
+                self.phase = DriverPhase::Complete { from, req };
+                return GuestOp::Compute(self.disk_latency);
+            }
+            DriverPhase::Complete { from, req } => {
+                self.phase = DriverPhase::Ready;
+                self.requests_served += 1;
+                return GuestOp::Hypercall(HcRequest::EventSend {
+                    to: from,
+                    event: GuestEventKind::BlkComplete { req },
+                });
+            }
+            DriverPhase::Ready => {}
+        }
+        // Scheduled management work: create the post-recovery AppVM.
+        if let Some(t) = self.create_at {
+            if now >= t && !self.created {
+                self.created = true;
+                return GuestOp::Hypercall(HcRequest::DomctlCreate);
+            }
+        }
+        if let Some((from, req)) = self.inbox.pop_front() {
+            self.phase = DriverPhase::Disk { from, req };
+            // Occasional driver-side console logging.
+            if self.rng.gen_bool(0.05) {
+                return GuestOp::Hypercall(HcRequest::ConsoleWrite);
+            }
+            return GuestOp::Compute(SimDuration::from_micros(50));
+        }
+        GuestOp::Block
+    }
+
+    fn notice(&mut self, _now: SimTime, notice: GuestNotice) {
+        match notice {
+            GuestNotice::Event(GuestEventKind::BlkRequest { from, req }) => {
+                self.inbox.push_back((from, req));
+            }
+            GuestNotice::TlsClobbered
+                // Dom0 userspace (xl, udev) uses TLS too; a clobber can take
+                // down the management stack.
+                if self.rng.gen_bool(0.5) => {
+                    self.crashed_oracle = true;
+                }
+            _ => {}
+        }
+    }
+
+    fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
+        // The PrivVM is not a benchmark: it is healthy unless its management
+        // stack died (the campaign separately requires domain creation to
+        // succeed).
+        if self.crashed_oracle {
+            WorkloadVerdict::Failed(nlh_hv::domain::FailReason::GuestCrash(
+                "PrivVM management stack crashed".to_string(),
+            ))
+        } else {
+            WorkloadVerdict::CompletedOk
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_requests_in_order() {
+        let mut w = PrivVmDriver::new(1, None);
+        let mut rng = Pcg64::seed_from_u64(0);
+        w.notice(
+            SimTime::ZERO,
+            GuestNotice::Event(GuestEventKind::BlkRequest {
+                from: DomId(2),
+                req: 11,
+            }),
+        );
+        // Ready -> (maybe console) -> Disk -> Complete.
+        let mut sent = None;
+        for _ in 0..6 {
+            match w.next_op(SimTime::ZERO, &mut rng) {
+                GuestOp::Hypercall(HcRequest::EventSend { to, event }) => {
+                    sent = Some((to, event));
+                    break;
+                }
+                GuestOp::Block => panic!("driver blocked with work queued"),
+                _ => {}
+            }
+        }
+        let (to, event) = sent.expect("completion sent");
+        assert_eq!(to, DomId(2));
+        assert_eq!(event, GuestEventKind::BlkComplete { req: 11 });
+        assert_eq!(w.requests_served(), 1);
+    }
+
+    #[test]
+    fn blocks_when_idle() {
+        let mut w = PrivVmDriver::new(2, None);
+        let mut rng = Pcg64::seed_from_u64(0);
+        assert_eq!(w.next_op(SimTime::ZERO, &mut rng), GuestOp::Block);
+    }
+
+    #[test]
+    fn issues_domctl_create_once_at_schedule() {
+        let mut w = PrivVmDriver::new(3, Some(SimTime::from_secs(5)));
+        let mut rng = Pcg64::seed_from_u64(0);
+        assert_eq!(w.next_op(SimTime::from_secs(4), &mut rng), GuestOp::Block);
+        assert!(!w.creation_issued());
+        assert_eq!(
+            w.next_op(SimTime::from_secs(5), &mut rng),
+            GuestOp::Hypercall(HcRequest::DomctlCreate)
+        );
+        assert!(w.creation_issued());
+        assert_eq!(w.next_op(SimTime::from_secs(6), &mut rng), GuestOp::Block);
+    }
+
+    #[test]
+    fn healthy_verdict_by_default() {
+        let w = PrivVmDriver::new(4, None);
+        assert!(w.verdict(SimTime::ZERO, SimTime::ZERO).is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! UnixBench: a hypercall-heavy system-stress workload.
+//!
+//! The paper uses a subset of UnixBench selected to "stress the
+//! hypervisor's handling of hypercalls, especially those related to virtual
+//! memory management" (Section VI-A). This model issues the corresponding
+//! paravirtual traffic: page pins/unpins (`mmu_update`), memory
+//! reservations, batched multicalls, occasional grant maps and console
+//! writes — plus frequent syscalls, which on x86-64 trap through the
+//! hypervisor.
+
+use nlh_hv::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
+use nlh_hv::hypercalls::HcRequest;
+use nlh_sim::{Pcg64, SimDuration, SimTime};
+
+use crate::WorkloadCore;
+
+/// The UnixBench-like workload.
+#[derive(Debug)]
+pub struct UnixBench {
+    core: WorkloadCore,
+    /// Logical pins outstanding (guest-side bookkeeping to keep pin/unpin
+    /// traffic balanced).
+    pins: usize,
+    /// Logical memory-reservation surplus.
+    reserved: usize,
+    iterations: u64,
+}
+
+impl UnixBench {
+    /// Creates a UnixBench run of the given duration.
+    ///
+    /// `tls_sensitivity` is the probability that a recovery-time FS/GS
+    /// clobber hits a TLS-dependent process (the paper's Section IV
+    /// enhancement exists because this is common).
+    pub fn new(seed: u64, duration: SimDuration, tls_sensitivity: f64) -> Self {
+        UnixBench {
+            core: WorkloadCore::new(seed, duration, tls_sensitivity),
+            pins: 0,
+            reserved: 0,
+            iterations: 0,
+        }
+    }
+
+    /// Iterations completed so far (the benchmark's throughput metric).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}
+
+impl GuestProgram for UnixBench {
+    fn name(&self) -> &str {
+        "UnixBench"
+    }
+
+    fn next_op(&mut self, now: SimTime, _rng: &mut Pcg64) -> GuestOp {
+        if self.core.past_end(now) {
+            self.core.finished = true;
+            return GuestOp::Done;
+        }
+        self.iterations += 1;
+        // Weighted mix of one compute slice + one platform interaction.
+        // Weights approximate a VM-management-heavy UnixBench subset.
+        let roll = self.core.rng.gen_range_usize(0, 100);
+        match roll {
+            // 70%: pure compute (arithmetic, pipes within the guest).
+            0..=69 => {
+                let us = 300 + self.core.rng.gen_range_u64(0, 1_000);
+                GuestOp::Compute(SimDuration::from_micros(us))
+            }
+            // 12%: syscalls (process creation, file metadata, ...).
+            70..=81 => GuestOp::Syscall,
+            // 5%: pin page-table pages (expected +1.5 pages per pin op,
+            // balanced by the unpin branch below).
+            82..=86 => {
+                let n = 1 + self.core.rng.gen_range_usize(0, 2);
+                self.pins += n;
+                GuestOp::Hypercall(HcRequest::PinPages(n))
+            }
+            // 5%: unpin one or more pages (same size distribution as the
+            // pin branch, so pins stay balanced).
+            87..=91 => {
+                let want = 1 + self.core.rng.gen_range_usize(0, 2);
+                let n = want.min(self.pins);
+                if n > 0 {
+                    self.pins -= n;
+                    GuestOp::Hypercall(HcRequest::UnpinPages(n))
+                } else {
+                    GuestOp::Syscall
+                }
+            }
+            // 3%: batched multicall (page-table update burst).
+            92..=94 => GuestOp::Hypercall(HcRequest::Multicall(vec![
+                HcRequest::PinPages(1),
+                HcRequest::XenVersion,
+                HcRequest::UnpinPages(1),
+                HcRequest::SetTimer,
+            ])),
+            // 2%: memory reservation churn.
+            95..=96 => {
+                if self.reserved > 0 && self.core.rng.gen_bool(0.5) {
+                    self.reserved -= 1;
+                    GuestOp::Hypercall(HcRequest::MemoryDecrease(2))
+                } else {
+                    self.reserved += 1;
+                    GuestOp::Hypercall(HcRequest::MemoryIncrease(2))
+                }
+            }
+            // 1%: grant map from the PrivVM (shared ring setup).
+            97 => GuestOp::Hypercall(HcRequest::GrantMap {
+                from: nlh_sim::DomId::PRIV,
+            }),
+            // 1%: console output.
+            98 => GuestOp::Hypercall(HcRequest::ConsoleWrite),
+            // 1%: trivial read-only hypercall.
+            _ => GuestOp::Hypercall(HcRequest::XenVersion),
+        }
+    }
+
+    fn notice(&mut self, _now: SimTime, notice: GuestNotice) {
+        self.core.common_notice(&notice);
+    }
+
+    fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict {
+        self.core.verdict(now, deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlh_hv::domain::FailReason;
+
+    #[test]
+    fn finishes_after_duration() {
+        let mut w = UnixBench::new(1, SimDuration::from_millis(50), 0.5);
+        let mut rng = Pcg64::seed_from_u64(0);
+        let mut now = SimTime::ZERO;
+        let mut done = false;
+        for _ in 0..100_000 {
+            match w.next_op(now, &mut rng) {
+                GuestOp::Done => {
+                    done = true;
+                    break;
+                }
+                GuestOp::Compute(d) => now += d,
+                _ => now += SimDuration::from_micros(50),
+            }
+        }
+        assert!(done);
+        assert!(w
+            .verdict(now, now + SimDuration::from_secs(1))
+            .is_ok());
+        assert!(w.iterations() > 10);
+    }
+
+    #[test]
+    fn unpins_never_exceed_pins() {
+        let mut w = UnixBench::new(7, SimDuration::from_secs(10), 0.5);
+        let mut rng = Pcg64::seed_from_u64(0);
+        let mut now = SimTime::ZERO;
+        let (mut pins, mut unpins) = (0usize, 0usize);
+        for _ in 0..20_000 {
+            match w.next_op(now, &mut rng) {
+                GuestOp::Hypercall(HcRequest::PinPages(n)) => pins += n,
+                GuestOp::Hypercall(HcRequest::UnpinPages(n)) => {
+                    unpins += n;
+                    assert!(unpins <= pins, "unpinned more than pinned");
+                }
+                GuestOp::Compute(d) => now += d,
+                _ => {}
+            }
+            now += SimDuration::from_micros(10);
+        }
+        assert!(pins > 0, "workload must exercise pinning");
+    }
+
+    #[test]
+    fn data_corruption_fails_the_oracle() {
+        let mut w = UnixBench::new(2, SimDuration::from_millis(1), 0.5);
+        w.notice(SimTime::ZERO, GuestNotice::DataCorrupted);
+        assert_eq!(
+            w.verdict(SimTime::from_secs(1), SimTime::from_secs(2)),
+            WorkloadVerdict::Failed(FailReason::OutputMismatch)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = UnixBench::new(9, SimDuration::from_secs(1), 0.5);
+        let mut b = UnixBench::new(9, SimDuration::from_secs(1), 0.5);
+        let mut rng = Pcg64::seed_from_u64(0);
+        for i in 0..500 {
+            let t = SimTime::from_micros(i * 100);
+            assert_eq!(a.next_op(t, &mut rng), b.next_op(t, &mut rng));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! A miniature fault-injection campaign: the workflow behind Figure 2.
+//!
+//! Run with: `cargo run --release --example fault_injection_campaign`
+
+use nilihype::campaign::{run_campaign, SetupKind};
+use nilihype::inject::FaultType;
+use nilihype::recovery::Microreset;
+
+fn main() {
+    println!("Running 3x60 fault-injection trials against NiLiHype (3AppVM setup)...");
+    println!("(the fig2 experiment binary runs the paper-scale campaigns)");
+    println!();
+    for fault in FaultType::ALL {
+        let result = run_campaign(SetupKind::ThreeAppVm, fault, 60, 2018, Microreset::nilihype);
+        let (nm, sdc, det) = result.manifestation_breakdown();
+        println!(
+            "{:9} recovery {:>14}, noVMF {:>14}   [nm {:>5.1}%  sdc {:>4.1}%  det {:>5.1}%]",
+            fault.to_string(),
+            result.success_rate().to_string(),
+            result.no_vmf_rate().to_string(),
+            nm * 100.0,
+            sdc * 100.0,
+            det * 100.0
+        );
+        for (reason, n) in &result.failure_reasons {
+            println!("          {n:>2} failures: {reason}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Microreset vs microreboot on the same fault: the paper's headline
+//! trade-off (recovery latency vs the state the mechanism can cleanse).
+//!
+//! Run with: `cargo run --release --example recovery_comparison`
+
+use nilihype::hv::chaos::CorruptionKind;
+use nilihype::hv::invariants::check_quiescent;
+use nilihype::hv::{CpuId, Hypervisor, MachineConfig};
+use nilihype::recovery::{Microreboot, Microreset, RecoveryMechanism};
+
+fn scenario(corrupt_boot_state: bool) -> Hypervisor {
+    let mut hv = Hypervisor::new(MachineConfig::paper(), 7);
+    // Typical abandonment residue:
+    hv.percpu[2].local_irq_count = 1;
+    let lock = hv.timer_locks[3];
+    hv.locks.acquire(lock, CpuId(3));
+    hv.percpu[5].apic.disarm();
+    if corrupt_boot_state {
+        // Error propagation into state only a reboot re-initializes.
+        hv.apply_corruption(CorruptionKind::BootScratch);
+        hv.apply_corruption(CorruptionKind::HeapFreelist);
+    }
+    hv.raise_panic(CpuId(2), "injected fault");
+    hv
+}
+
+fn main() {
+    println!("== Clean abandonment residue (no propagated corruption) ==");
+    for mech in [
+        &Microreset::nilihype() as &dyn RecoveryMechanism,
+        &Microreboot::rehype(),
+    ] {
+        let mut hv = scenario(false);
+        let report = mech.recover(&mut hv).expect("recovery runs");
+        let violations = check_quiescent(&hv);
+        println!(
+            "{:9} latency {:>9}  post-recovery violations: {}",
+            report.mechanism,
+            format!("{}", report.total),
+            violations.len()
+        );
+    }
+    println!();
+    println!("== With corruption of boot-reinitialized state ==");
+    for mech in [
+        &Microreset::nilihype() as &dyn RecoveryMechanism,
+        &Microreboot::rehype(),
+    ] {
+        let mut hv = scenario(true);
+        let report = mech.recover(&mut hv).expect("recovery runs");
+        let violations = check_quiescent(&hv);
+        println!(
+            "{:9} latency {:>9}  post-recovery violations: {} {}",
+            report.mechanism,
+            format!("{}", report.total),
+            violations.len(),
+            if violations.is_empty() {
+                "(the reboot cleansed it)"
+            } else {
+                "(microreset keeps corrupted state in place)"
+            }
+        );
+    }
+    println!();
+    println!("This is the paper's trade-off in one screen: microreset is >30x faster,");
+    println!("microreboot recovers a small extra class of corruptions (Section VII-A).");
+}

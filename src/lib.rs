@@ -1,0 +1,41 @@
+//! **nilihype** — a Rust reproduction of *"Fast Hypervisor Recovery Without
+//! Reboot"* (Zhou & Tamir, DSN 2018).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — deterministic simulation kernel (time, RNG, statistics).
+//! * [`hv`] — the simulated Xen-like hypervisor substrate.
+//! * [`workloads`] — the paper's benchmarks (BlkBench, UnixBench, NetBench).
+//! * [`inject`] — the Gigan-style fault injector.
+//! * [`recovery`] — the paper's contribution: microreset (NiLiHype) and
+//!   microreboot (ReHype) component-level recovery.
+//! * [`campaign`] — fault-injection campaigns and outcome classification.
+//!
+//! See the repository `README.md` for a tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Example
+//!
+//! ```
+//! use nilihype::hv::{Hypervisor, MachineConfig, CpuId};
+//! use nilihype::recovery::{Microreset, RecoveryMechanism};
+//!
+//! let mechanism = Microreset::nilihype();
+//! let mut hv = Hypervisor::new(MachineConfig::small(), 42);
+//! hv.support = mechanism.op_support();
+//! hv.run_for(nilihype::sim::SimDuration::from_millis(50));
+//! hv.raise_panic(CpuId(0), "example fault");
+//! let report = mechanism.recover(&mut hv).expect("recovery runs");
+//! assert!(hv.detection().is_none(), "machine resumed");
+//! assert_eq!(report.mechanism, "NiLiHype");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nlh_campaign as campaign;
+pub use nlh_core as recovery;
+pub use nlh_hv as hv;
+pub use nlh_inject as inject;
+pub use nlh_sim as sim;
+pub use nlh_workloads as workloads;

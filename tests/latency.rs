@@ -1,0 +1,96 @@
+//! Recovery-latency integration tests: Tables II and III, the >30× claim,
+//! and the memory-scaling discussion of Section VII-B.
+
+use nilihype::hv::{CpuId, Hypervisor, MachineConfig};
+use nilihype::recovery::{Microreboot, Microreset, RecoveryMechanism};
+use nilihype::sim::SimDuration;
+
+fn recover(machine: MachineConfig, mech: &dyn RecoveryMechanism) -> nilihype::recovery::RecoveryReport {
+    let mut hv = Hypervisor::new(machine, 1);
+    hv.raise_panic(CpuId(0), "latency measurement fault");
+    mech.recover(&mut hv).expect("recovery runs")
+}
+
+#[test]
+fn table3_nilihype_is_22ms_on_paper_machine() {
+    let report = recover(MachineConfig::paper(), &Microreset::nilihype());
+    assert_eq!(report.total.as_millis(), 22);
+    let scan = report
+        .steps
+        .iter()
+        .find(|s| s.name.contains("page frame"))
+        .expect("scan step present");
+    assert_eq!(scan.duration.as_millis(), 21, "the scan dominates");
+}
+
+#[test]
+fn table2_rehype_is_713ms_on_paper_machine() {
+    let report = recover(MachineConfig::paper(), &Microreboot::rehype());
+    assert_eq!(report.total.as_millis(), 713);
+    // Spot-check the table's big rows.
+    let find = |needle: &str| {
+        report
+            .steps
+            .iter()
+            .find(|s| s.name.contains(needle))
+            .unwrap_or_else(|| panic!("step {needle} missing"))
+            .duration
+            .as_millis()
+    };
+    assert_eq!(find("other CPUs"), 150);
+    assert_eq!(find("IO APIC"), 200);
+    assert_eq!(find("Recreate the new heap"), 211);
+    assert_eq!(find("TSC"), 50);
+}
+
+#[test]
+fn microreset_is_over_30x_faster() {
+    let ni = recover(MachineConfig::paper(), &Microreset::nilihype());
+    let re = recover(MachineConfig::paper(), &Microreboot::rehype());
+    let ratio = re.total.as_nanos() as f64 / ni.total.as_nanos() as f64;
+    assert!(ratio > 30.0, "paper claims >30x; got {ratio:.1}x");
+}
+
+#[test]
+fn latency_scales_with_memory() {
+    // Section VII-B: the scan latency is proportional to host memory.
+    let at = |gib: u64| {
+        recover(
+            MachineConfig {
+                num_cpus: 8,
+                memory_mib: gib * 1024,
+                cpu_freq_mhz: 2_500,
+            },
+            &Microreset::nilihype(),
+        )
+        .total
+    };
+    let t8 = at(8);
+    let t16 = at(16);
+    let t64 = at(64);
+    assert!(t16 > t8 && t64 > t16);
+    // Roughly linear in the scan-dominated regime.
+    let scan8 = t8.as_millis_f64() - 1.0;
+    let scan64 = t64.as_millis_f64() - 1.0;
+    let ratio = scan64 / scan8;
+    assert!((6.0..10.5).contains(&ratio), "8x memory -> ~8x scan: {ratio:.2}");
+}
+
+#[test]
+fn recovery_latency_shows_up_as_vm_pause() {
+    // During recovery all VMs are paused: the clocks jump by the latency.
+    let mut hv = Hypervisor::new(MachineConfig::paper(), 2);
+    hv.run_for(SimDuration::from_millis(40));
+    hv.raise_panic(CpuId(3), "fault");
+    let before = hv.now_max();
+    let report = Microreset::nilihype().recover(&mut hv).unwrap();
+    assert_eq!(hv.now(), before + report.total);
+}
+
+#[test]
+fn small_machine_recovers_fast() {
+    // Campaign trials use a 64 MiB machine; its scan is ~0.16 ms, keeping
+    // trials cheap without changing recovery-rate semantics.
+    let report = recover(MachineConfig::small(), &Microreset::nilihype());
+    assert!(report.total < SimDuration::from_millis(3));
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the recovery invariants: whatever residue an
+//! abandoned execution leaves and whatever corruption the fault propagated
+//! (within the classes the mechanisms claim to handle), a full recovery
+//! restores every quiescent-machine invariant.
+
+use nilihype::hv::chaos::CorruptionKind;
+use nilihype::hv::invariants::check_quiescent;
+use nilihype::hv::timers::TimerEventKind;
+use nilihype::hv::{CpuId, Hypervisor, MachineConfig};
+use nilihype::recovery::{Microreboot, Microreset, RecoveryMechanism};
+use proptest::prelude::*;
+
+/// A synthetic residue state to throw at recovery.
+#[derive(Debug, Clone)]
+struct Residue {
+    irq_counts: Vec<u8>,
+    held_heap_locks: Vec<u8>,
+    held_static_locks: Vec<u8>,
+    disarmed_apics: Vec<u8>,
+    dropped_heartbeats: Vec<u8>,
+    drop_time_sync: bool,
+    torn_sched: bool,
+    pfd_corruptions: u8,
+    sched_corruptions: u8,
+}
+
+fn residue_strategy() -> impl Strategy<Value = Residue> {
+    (
+        prop::collection::vec(0u8..8, 0..4),
+        prop::collection::vec(0u8..8, 0..4),
+        prop::collection::vec(0u8..5, 0..3),
+        prop::collection::vec(0u8..8, 0..4),
+        prop::collection::vec(0u8..8, 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..6,
+        0u8..4,
+    )
+        .prop_map(
+            |(
+                irq_counts,
+                held_heap_locks,
+                held_static_locks,
+                disarmed_apics,
+                dropped_heartbeats,
+                drop_time_sync,
+                torn_sched,
+                pfd_corruptions,
+                sched_corruptions,
+            )| Residue {
+                irq_counts,
+                held_heap_locks,
+                held_static_locks,
+                disarmed_apics,
+                dropped_heartbeats,
+                drop_time_sync,
+                torn_sched,
+                pfd_corruptions,
+                sched_corruptions,
+            },
+        )
+}
+
+fn apply_residue(hv: &mut Hypervisor, r: &Residue) {
+    for &c in &r.irq_counts {
+        hv.percpu[c as usize].local_irq_count += 1;
+    }
+    for &c in &r.held_heap_locks {
+        let lock = hv.timer_locks[c as usize];
+        hv.locks.acquire(lock, CpuId(c as u32));
+    }
+    for &i in &r.held_static_locks {
+        let lock = nilihype::hv::locks::StaticLock::ALL[i as usize].id();
+        hv.locks.acquire(lock, CpuId(0));
+    }
+    for &c in &r.disarmed_apics {
+        hv.percpu[c as usize].apic.disarm();
+    }
+    for &c in &r.dropped_heartbeats {
+        hv.timers
+            .remove_kind(TimerEventKind::WatchdogHeartbeat(CpuId(c as u32)));
+    }
+    if r.drop_time_sync {
+        hv.timers.remove_kind(TimerEventKind::TimeSync);
+    }
+    if r.torn_sched {
+        hv.sched.cs_set_percpu_current(CpuId(0), None);
+    }
+    for _ in 0..r.pfd_corruptions {
+        hv.apply_corruption(CorruptionKind::PageFrame);
+    }
+    for _ in 0..r.sched_corruptions {
+        hv.apply_corruption(CorruptionKind::SchedMetadata);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full NiLiHype restores every quiescent invariant, whatever the
+    /// residue.
+    #[test]
+    fn microreset_restores_quiescence(residue in residue_strategy(), seed in 0u64..1000) {
+        let mut hv = Hypervisor::new(MachineConfig::small(), seed);
+        apply_residue(&mut hv, &residue);
+        hv.raise_panic(CpuId(1), "prop fault");
+        Microreset::nilihype().recover(&mut hv).unwrap();
+        let violations = check_quiescent(&hv);
+        prop_assert!(violations.is_empty(), "{violations:?} from {residue:?}");
+    }
+
+    /// Full ReHype likewise.
+    #[test]
+    fn microreboot_restores_quiescence(residue in residue_strategy(), seed in 0u64..1000) {
+        let mut hv = Hypervisor::new(MachineConfig::small(), seed);
+        apply_residue(&mut hv, &residue);
+        hv.raise_panic(CpuId(2), "prop fault");
+        Microreboot::rehype().recover(&mut hv).unwrap();
+        let violations = check_quiescent(&hv);
+        prop_assert!(violations.is_empty(), "{violations:?} from {residue:?}");
+    }
+
+    /// Recovery is idempotent with respect to the repaired state: a second
+    /// recovery immediately after the first repairs nothing further.
+    #[test]
+    fn second_recovery_finds_nothing_to_repair(residue in residue_strategy(), seed in 0u64..1000) {
+        let mut hv = Hypervisor::new(MachineConfig::small(), seed);
+        apply_residue(&mut hv, &residue);
+        hv.raise_panic(CpuId(0), "prop fault");
+        let mech = Microreset::nilihype();
+        mech.recover(&mut hv).unwrap();
+        hv.raise_panic(CpuId(0), "second fault");
+        let second = mech.recover(&mut hv).unwrap();
+        prop_assert_eq!(second.pfd_repaired, 0);
+        prop_assert_eq!(second.locks_released, 0);
+        prop_assert_eq!(second.timers_reactivated, 0);
+    }
+
+    /// The machine actually runs after recovery: no detection for a while.
+    #[test]
+    fn machine_runs_cleanly_after_recovery(residue in residue_strategy(), seed in 0u64..500) {
+        let mut hv = Hypervisor::new(MachineConfig::small(), seed);
+        apply_residue(&mut hv, &residue);
+        hv.raise_panic(CpuId(3), "prop fault");
+        Microreset::nilihype().recover(&mut hv).unwrap();
+        hv.run_for(nilihype::sim::SimDuration::from_millis(800));
+        prop_assert!(hv.detection().is_none(), "{:?}", hv.detection());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The page-frame scan repairs exactly the inconsistent descriptors and
+    /// is idempotent.
+    #[test]
+    fn pfd_scan_properties(corruptions in 0usize..40, seed in 0u64..10_000) {
+        let mut hv = Hypervisor::new(MachineConfig::small(), seed);
+        for _ in 0..corruptions {
+            hv.apply_corruption(CorruptionKind::PageFrame);
+        }
+        let bad = hv.pft.count_inconsistent();
+        let fixed = hv.pft.consistency_scan();
+        prop_assert_eq!(fixed, bad);
+        prop_assert_eq!(hv.pft.count_inconsistent(), 0);
+        prop_assert_eq!(hv.pft.consistency_scan(), 0);
+    }
+}
