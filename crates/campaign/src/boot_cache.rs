@@ -1,0 +1,139 @@
+//! Warm-start boot templates: build the post-boot system once, clone it
+//! per trial.
+//!
+//! Every trial needs a freshly booted `(Hypervisor, SystemLayout)` pair.
+//! Booting is deterministic and — because no simulation steps run during
+//! [`build_system`] — the trial seed influences nothing but RNG state.
+//! A [`BootCache`] therefore builds the system once per
+//! `(MachineConfig, SetupKind)` key from a canonical seed, and each trial
+//! checks out a deep clone with its own seed re-derived into every RNG via
+//! [`reseed_system`]. The clone is bit-for-bit what a cold boot with that
+//! seed would have produced, at a fraction of the cost.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nlh_hv::{Hypervisor, MachineConfig};
+
+use crate::setup::{build_system, reseed_system, SetupKind, SystemLayout};
+
+/// Seed used to build templates. Arbitrary: checkout re-derives all RNG
+/// state from the trial seed, so the template seed never leaks into trials.
+const TEMPLATE_SEED: u64 = 0;
+
+/// A pristine post-boot system, shared read-only between workers.
+type Template = Arc<(Hypervisor, SystemLayout)>;
+
+/// A cache of pristine post-boot systems, keyed by machine + setup.
+///
+/// Shared by the campaign worker threads; the map lock is held only to
+/// look up (or build) the `Arc`'d template, never during the per-trial
+/// deep clone.
+#[derive(Debug, Default)]
+pub struct BootCache {
+    templates: Mutex<HashMap<(MachineConfig, SetupKind), Template>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BootCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        BootCache::default()
+    }
+
+    /// Returns a ready-to-run system for `seed`: a deep clone of the cached
+    /// post-boot template with every RNG re-derived from `seed`. Builds and
+    /// caches the template on first use of a `(machine, setup)` key.
+    pub fn checkout(
+        &self,
+        machine: &MachineConfig,
+        setup: SetupKind,
+        seed: u64,
+    ) -> (Hypervisor, SystemLayout) {
+        let template = {
+            let mut map = self.templates.lock().unwrap();
+            match map.get(&(machine.clone(), setup)) {
+                Some(t) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(t)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let built = Arc::new(build_system(machine.clone(), setup, TEMPLATE_SEED));
+                    map.insert((machine.clone(), setup), Arc::clone(&built));
+                    built
+                }
+            }
+        };
+        let (mut hv, layout) = (*template).clone();
+        reseed_system(&mut hv, seed);
+        (hv, layout)
+    }
+
+    /// `(hits, misses)` — checkouts served from a cached template vs.
+    /// template builds.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::BenchKind;
+
+    #[test]
+    fn checkout_builds_once_per_key() {
+        let cache = BootCache::new();
+        let machine = MachineConfig::small();
+        let one = SetupKind::OneAppVm(BenchKind::UnixBench);
+        cache.checkout(&machine, one, 1);
+        cache.checkout(&machine, one, 2);
+        cache.checkout(&machine, SetupKind::ThreeAppVm, 3);
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn checkout_matches_cold_boot_layout_and_state() {
+        let cache = BootCache::new();
+        let machine = MachineConfig::small();
+        for setup in [
+            SetupKind::OneAppVm(BenchKind::NetBench),
+            SetupKind::ThreeAppVm,
+            SetupKind::TwoAppVmSharedCpu,
+        ] {
+            let (warm_hv, warm_layout) = cache.checkout(&machine, setup, 42);
+            let (cold_hv, cold_layout) = build_system(machine.clone(), setup, 42);
+            assert_eq!(warm_layout, cold_layout);
+            assert_eq!(warm_hv.rng, cold_hv.rng, "{setup:?}: hypervisor RNG");
+            assert_eq!(warm_hv.domains.len(), cold_hv.domains.len());
+            assert_eq!(warm_hv.pft.free_count(), cold_hv.pft.free_count());
+            assert_eq!(warm_hv.create_queue.len(), cold_hv.create_queue.len());
+        }
+    }
+
+    #[test]
+    fn concurrent_checkouts_share_one_template() {
+        let cache = BootCache::new();
+        let machine = MachineConfig::small();
+        let setup = SetupKind::OneAppVm(BenchKind::UnixBench);
+        std::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let cache = &cache;
+                let machine = &machine;
+                scope.spawn(move || {
+                    let (hv, _) = cache.checkout(machine, setup, i);
+                    assert_eq!(hv.domains.len(), 2);
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1, "exactly one build despite 8 threads");
+        assert_eq!(hits, 7);
+    }
+}

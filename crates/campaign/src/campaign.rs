@@ -1,16 +1,77 @@
 //! Campaign execution: many trials, in parallel, with aggregate statistics.
+//!
+//! Workers pull trial indices from a shared atomic counter, aggregate into
+//! private shards (no shared mutable state on the trial path), and the
+//! shards are merged once when the workers join. By default trials are
+//! **warm-started**: each one clones a cached post-boot template from a
+//! [`BootCache`] instead of booting from scratch — bit-identical results
+//! (see the differential tests) at a fraction of the setup cost. Pass
+//! [`BootMode::Cold`] to [`run_campaign_with`] to boot every trial from
+//! scratch, e.g. when validating the warm path itself.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::time::Instant;
 
 use nlh_core::RecoveryMechanism;
 use nlh_inject::FaultType;
-use nlh_sim::stats::Proportion;
+use nlh_sim::stats::{Histogram, Proportion};
 use serde::{Deserialize, Serialize};
 
+use crate::boot_cache::BootCache;
 use crate::classify::TrialClass;
-use crate::trial::{run_trial, TrialConfig};
 use crate::setup::SetupKind;
+use crate::trial::{TrialConfig, TrialResult};
+
+/// How each trial obtains its booted target system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootMode {
+    /// Clone a cached post-boot template and reseed it (the default).
+    Warm,
+    /// Boot the system from scratch for every trial.
+    Cold,
+}
+
+/// Performance counters for one campaign run.
+///
+/// Simulated-time histograms (recovery latency) are exact and
+/// deterministic; wall-clock numbers (trials/sec, setup-vs-run split)
+/// depend on the host and are reported for visibility only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignTelemetry {
+    /// How trials obtained their booted system.
+    pub boot_mode: BootMode,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the whole campaign, in seconds.
+    pub wall_secs: f64,
+    /// Trial throughput (trials / wall second).
+    pub trials_per_sec: f64,
+    /// Wall-clock nanoseconds spent obtaining booted systems (cold boot or
+    /// clone + reseed), summed over workers.
+    pub setup_nanos: u64,
+    /// Wall-clock nanoseconds spent running trial bodies, summed over
+    /// workers.
+    pub run_nanos: u64,
+    /// Total recovery latency per recovered trial, in simulated
+    /// microseconds.
+    pub recovery_latency_us: Histogram,
+    /// Recovery latency per recovery phase (the step names of
+    /// Tables II/III), in simulated microseconds.
+    pub phase_latency_us: BTreeMap<String, Histogram>,
+}
+
+impl CampaignTelemetry {
+    /// Fraction of measured worker time spent on setup (0 when nothing was
+    /// measured).
+    pub fn setup_fraction(&self) -> f64 {
+        let total = self.setup_nanos + self.run_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.setup_nanos as f64 / total as f64
+        }
+    }
+}
 
 /// Aggregated results of a fault-injection campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +94,8 @@ pub struct CampaignResult {
     pub no_vmf: u64,
     /// Histogram of recovery-failure reasons.
     pub failure_reasons: BTreeMap<String, u64>,
+    /// Performance counters for this run.
+    pub telemetry: CampaignTelemetry,
 }
 
 impl CampaignResult {
@@ -66,7 +129,8 @@ impl CampaignResult {
 ///
 /// `base_seed` makes the whole campaign reproducible; trial `i` uses seed
 /// `base_seed + i`. The mechanism factory is invoked once per worker
-/// thread.
+/// thread. Trials are warm-started from a per-campaign [`BootCache`]; use
+/// [`run_campaign_with`] to force cold boots.
 pub fn run_campaign<M, F>(
     setup: SetupKind,
     fault: FaultType,
@@ -78,66 +142,163 @@ where
     M: RecoveryMechanism,
     F: Fn() -> M + Sync,
 {
+    run_campaign_with(
+        setup,
+        fault,
+        trials,
+        base_seed,
+        make_mechanism,
+        BootMode::Warm,
+    )
+}
+
+/// [`run_campaign`] with an explicit [`BootMode`].
+pub fn run_campaign_with<M, F>(
+    setup: SetupKind,
+    fault: FaultType,
+    trials: u64,
+    base_seed: u64,
+    make_mechanism: F,
+    boot_mode: BootMode,
+) -> CampaignResult
+where
+    M: RecoveryMechanism,
+    F: Fn() -> M + Sync,
+{
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(trials.max(1) as usize);
     let next = std::sync::atomic::AtomicU64::new(0);
-    let agg = Mutex::new(CampaignAgg::default());
-    let name = Mutex::new(String::new());
+    let cache = BootCache::new();
+    let started = Instant::now();
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mech = make_mechanism();
-                {
-                    let mut n = name.lock().unwrap();
-                    if n.is_empty() {
-                        *n = mech.name().to_string();
+    // Each worker aggregates into a private shard and returns it through
+    // its join handle; the only cross-thread traffic on the trial path is
+    // the work-stealing counter (and the boot cache's template lookup).
+    let shards: Vec<Shard> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mech = make_mechanism();
+                    let mut shard = Shard::new(mech.name().to_string());
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        let cfg = TrialConfig::new(setup, fault, base_seed + i);
+                        let t0 = Instant::now();
+                        let result = match boot_mode {
+                            BootMode::Warm => {
+                                let (hv, layout) =
+                                    cache.checkout(&cfg.machine, cfg.setup, cfg.seed);
+                                shard.setup_nanos += elapsed_nanos(t0);
+                                let t1 = Instant::now();
+                                let r = crate::trial::run_trial_on(hv, &layout, &cfg, &mech);
+                                shard.run_nanos += elapsed_nanos(t1);
+                                r
+                            }
+                            BootMode::Cold => {
+                                // run_trial boots internally; count its
+                                // whole cost as setup + run by splitting at
+                                // the boot boundary the same way.
+                                let (hv, layout) = crate::setup::build_system(
+                                    cfg.machine.clone(),
+                                    cfg.setup,
+                                    cfg.seed,
+                                );
+                                shard.setup_nanos += elapsed_nanos(t0);
+                                let t1 = Instant::now();
+                                let r = crate::trial::run_trial_on(hv, &layout, &cfg, &mech);
+                                shard.run_nanos += elapsed_nanos(t1);
+                                r
+                            }
+                        };
+                        shard.add(&result);
                     }
-                }
-                let mut local = CampaignAgg::default();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= trials {
-                        break;
-                    }
-                    let cfg = TrialConfig::new(setup, fault, base_seed + i);
-                    let result = run_trial(&cfg, &mech);
-                    local.add(&result.class);
-                }
-                agg.lock().unwrap().merge(local);
-            });
-        }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
     });
 
-    let agg = agg.into_inner().unwrap();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut merged = Shard::new(String::new());
+    for shard in shards {
+        merged.merge(shard);
+    }
+
     CampaignResult {
-        mechanism: name.into_inner().unwrap(),
+        mechanism: merged.mechanism,
         fault,
         trials,
-        non_manifested: agg.non_manifested,
-        sdc: agg.sdc,
-        detected: agg.detected,
-        successes: agg.successes,
-        no_vmf: agg.no_vmf,
-        failure_reasons: agg.failure_reasons,
+        non_manifested: merged.non_manifested,
+        sdc: merged.sdc,
+        detected: merged.detected,
+        successes: merged.successes,
+        no_vmf: merged.no_vmf,
+        failure_reasons: merged.failure_reasons,
+        telemetry: CampaignTelemetry {
+            boot_mode,
+            workers: threads,
+            wall_secs,
+            trials_per_sec: if wall_secs > 0.0 {
+                trials as f64 / wall_secs
+            } else {
+                0.0
+            },
+            setup_nanos: merged.setup_nanos,
+            run_nanos: merged.run_nanos,
+            recovery_latency_us: merged.recovery_latency_us,
+            phase_latency_us: merged.phase_latency_us,
+        },
     }
 }
 
-#[derive(Default)]
-struct CampaignAgg {
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One worker's private aggregation state.
+#[derive(Debug)]
+struct Shard {
+    mechanism: String,
     non_manifested: u64,
     sdc: u64,
     detected: u64,
     successes: u64,
     no_vmf: u64,
     failure_reasons: BTreeMap<String, u64>,
+    setup_nanos: u64,
+    run_nanos: u64,
+    recovery_latency_us: Histogram,
+    phase_latency_us: BTreeMap<String, Histogram>,
 }
 
-impl CampaignAgg {
-    fn add(&mut self, class: &TrialClass) {
-        match class {
+impl Shard {
+    fn new(mechanism: String) -> Self {
+        Shard {
+            mechanism,
+            non_manifested: 0,
+            sdc: 0,
+            detected: 0,
+            successes: 0,
+            no_vmf: 0,
+            failure_reasons: BTreeMap::new(),
+            setup_nanos: 0,
+            run_nanos: 0,
+            recovery_latency_us: Histogram::new(),
+            phase_latency_us: BTreeMap::new(),
+        }
+    }
+
+    fn add(&mut self, result: &TrialResult) {
+        match &result.class {
             TrialClass::NonManifested => self.non_manifested += 1,
             TrialClass::Sdc => self.sdc += 1,
             TrialClass::RecoverySuccess { no_vm_failures } => {
@@ -154,9 +315,22 @@ impl CampaignAgg {
                 *self.failure_reasons.entry(key).or_insert(0) += 1;
             }
         }
+        if let Some(report) = &result.recovery {
+            self.recovery_latency_us
+                .add(report.total.as_micros() as f64);
+            for step in &report.steps {
+                self.phase_latency_us
+                    .entry(step.name.clone())
+                    .or_default()
+                    .add(step.duration.as_micros() as f64);
+            }
+        }
     }
 
-    fn merge(&mut self, other: CampaignAgg) {
+    fn merge(&mut self, other: Shard) {
+        if self.mechanism.is_empty() {
+            self.mechanism = other.mechanism;
+        }
         self.non_manifested += other.non_manifested;
         self.sdc += other.sdc;
         self.detected += other.detected;
@@ -164,6 +338,12 @@ impl CampaignAgg {
         self.no_vmf += other.no_vmf;
         for (k, v) in other.failure_reasons {
             *self.failure_reasons.entry(k).or_insert(0) += v;
+        }
+        self.setup_nanos += other.setup_nanos;
+        self.run_nanos += other.run_nanos;
+        self.recovery_latency_us.merge(&other.recovery_latency_us);
+        for (k, h) in other.phase_latency_us {
+            self.phase_latency_us.entry(k).or_default().merge(&h);
         }
     }
 }
@@ -208,5 +388,57 @@ mod tests {
         assert_eq!(a.successes, b.successes);
         assert_eq!(a.non_manifested, b.non_manifested);
         assert_eq!(a.sdc, b.sdc);
+    }
+
+    #[test]
+    fn warm_and_cold_campaigns_agree() {
+        let run = |mode| {
+            run_campaign_with(
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Failstop,
+                12,
+                321,
+                Microreset::nilihype,
+                mode,
+            )
+        };
+        let warm = run(BootMode::Warm);
+        let cold = run(BootMode::Cold);
+        assert_eq!(warm.successes, cold.successes);
+        assert_eq!(warm.detected, cold.detected);
+        assert_eq!(warm.failure_reasons, cold.failure_reasons);
+        // The simulated-latency histograms are deterministic, so they must
+        // agree exactly too.
+        assert_eq!(
+            warm.telemetry.recovery_latency_us,
+            cold.telemetry.recovery_latency_us
+        );
+        assert_eq!(
+            warm.telemetry.phase_latency_us,
+            cold.telemetry.phase_latency_us
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_recoveries_and_time() {
+        let r = run_campaign(
+            SetupKind::OneAppVm(BenchKind::UnixBench),
+            FaultType::Failstop,
+            8,
+            5,
+            Microreset::nilihype,
+        );
+        let t = &r.telemetry;
+        assert_eq!(t.boot_mode, BootMode::Warm);
+        assert!(t.workers >= 1);
+        assert_eq!(t.recovery_latency_us.count(), r.detected);
+        assert!(t.trials_per_sec > 0.0);
+        assert!(t.setup_nanos > 0 && t.run_nanos > 0);
+        assert!(t.setup_fraction() > 0.0 && t.setup_fraction() < 1.0);
+        // Phase histograms carry the per-step breakdown of Table III.
+        assert!(!t.phase_latency_us.is_empty());
+        for h in t.phase_latency_us.values() {
+            assert!(h.count() <= r.detected);
+        }
     }
 }

@@ -90,11 +90,10 @@ pub fn classify(
 ) -> TrialClass {
     // No detector fired: non-manifested vs SDC by the golden-copy oracle.
     if !obs.detected {
-        let any_failed = layout.initial_apps.iter().any(|(dom, _)| {
-            !hv.domains[dom.index()]
-                .verdict(now, deadline)
-                .is_ok()
-        });
+        let any_failed = layout
+            .initial_apps
+            .iter()
+            .any(|(dom, _)| !hv.domains[dom.index()].verdict(now, deadline).is_ok());
         return if any_failed {
             TrialClass::Sdc
         } else {
@@ -159,7 +158,10 @@ pub fn classify(
             let new_vm_ok = hv
                 .domains
                 .get(3)
-                .map(|d| d.is_active() && matches!(d.verdict(now, deadline), WorkloadVerdict::CompletedOk))
+                .map(|d| {
+                    d.is_active()
+                        && matches!(d.verdict(now, deadline), WorkloadVerdict::CompletedOk)
+                })
                 .unwrap_or(false);
             if !new_vm_ok {
                 return TrialClass::RecoveryFailure(

@@ -5,7 +5,7 @@ use nlh_core::{LadderRung, Microreset};
 use nlh_inject::FaultType;
 use serde::{Deserialize, Serialize};
 
-use crate::campaign::{run_campaign, CampaignResult};
+use crate::campaign::{run_campaign_with, BootMode, CampaignResult};
 use crate::setup::{BenchKind, SetupKind};
 
 /// One row of the reproduced Table I.
@@ -21,15 +21,25 @@ pub struct LadderRow {
 /// 1AppVM / UnixBench / fail-stop campaign (Section V-B), returning one
 /// row per rung.
 pub fn run_ladder(trials_per_rung: u64, base_seed: u64) -> Vec<LadderRow> {
+    run_ladder_with(trials_per_rung, base_seed, BootMode::Warm)
+}
+
+/// [`run_ladder`] with an explicit [`BootMode`] for each rung's campaign.
+pub fn run_ladder_with(
+    trials_per_rung: u64,
+    base_seed: u64,
+    boot_mode: BootMode,
+) -> Vec<LadderRow> {
     LadderRung::ALL
         .iter()
         .map(|&rung| {
-            let result = run_campaign(
+            let result = run_campaign_with(
                 SetupKind::OneAppVm(BenchKind::UnixBench),
                 FaultType::Failstop,
                 trials_per_rung,
                 base_seed,
                 move || Microreset::with_enhancements(rung.enhancements()),
+                boot_mode,
             );
             LadderRow { rung, result }
         })

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod boot_cache;
 mod campaign;
 mod classify;
 mod ladder;
@@ -22,9 +23,10 @@ mod overhead;
 mod setup;
 mod trial;
 
-pub use campaign::{run_campaign, CampaignResult};
+pub use boot_cache::BootCache;
+pub use campaign::{run_campaign, run_campaign_with, BootMode, CampaignResult, CampaignTelemetry};
 pub use classify::{classify, TrialClass};
-pub use ladder::{run_ladder, LadderRow};
+pub use ladder::{run_ladder, run_ladder_with, LadderRow};
 pub use overhead::{measure_hv_cycles, overhead_percent, OverheadPoint};
-pub use setup::{build_system, BenchKind, SetupKind, SystemLayout};
-pub use trial::{run_trial, TrialConfig, TrialResult};
+pub use setup::{build_system, reseed_system, BenchKind, SetupKind, SystemLayout};
+pub use trial::{run_trial, run_trial_on, run_trial_warm, TrialConfig, TrialResult};

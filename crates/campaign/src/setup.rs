@@ -2,7 +2,7 @@
 
 use nlh_hv::domain::{DomainKind, DomainSpec, GuestProgram};
 use nlh_hv::{CpuId, DomId, Hypervisor, MachineConfig};
-use nlh_sim::{SimDuration, SimTime};
+use nlh_sim::{Pcg64, SimDuration, SimTime};
 use nlh_workloads::{BlkBench, NetBench, PrivVmDriver, UnixBench};
 use serde::{Deserialize, Serialize};
 
@@ -28,7 +28,7 @@ impl std::fmt::Display for BenchKind {
 }
 
 /// The evaluated system configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SetupKind {
     /// PrivVM + one AppVM running the given benchmark for ~10 s. Used for
     /// the measurement-driven ladders; "success" means **no** VM affected.
@@ -107,8 +107,16 @@ fn make_bench(kind: BenchKind, seed: u64, dur: SimDuration, tls: f64) -> Box<dyn
 /// initial AppVMs are created, NetBench traffic is attached when NetBench
 /// runs, and — in the 3AppVM configuration — the post-recovery BlkBench
 /// AppVM's creation is queued and scheduled on the PrivVM.
-pub fn build_system(machine: MachineConfig, setup: SetupKind, seed: u64) -> (Hypervisor, SystemLayout) {
+pub fn build_system(
+    machine: MachineConfig,
+    setup: SetupKind,
+    seed: u64,
+) -> (Hypervisor, SystemLayout) {
     let mut hv = Hypervisor::new(machine, seed);
+    // Cold boots pay the full platform bring-up, dominated by the walk over
+    // all of RAM (Xen's `bootscrub`). Seed-independent, so a warm-started
+    // clone carries the identical scrubbed state without redoing the walk.
+    hv.run_boot_scrub();
     let tls = hv.tuning.tls_sensitivity;
     let dur = setup.bench_duration();
 
@@ -202,13 +210,46 @@ pub fn build_system(machine: MachineConfig, setup: SetupKind, seed: u64) -> (Hyp
     (hv, layout)
 }
 
+/// Re-derives every RNG in a pristine post-boot system from `seed`, exactly
+/// mirroring the derivations [`build_system`] applies at construction
+/// (PrivVM `seed ^ 0xD0`, AppVMs `seed ^ 0xA1`, `^ 0xA2`, ..., continuing
+/// through the queued post-recovery domains).
+///
+/// Booting performs no simulation steps, so the seed influences nothing but
+/// RNG state: a cloned template after `reseed_system(seed)` is
+/// indistinguishable from `build_system(.., seed)`. The differential tests
+/// in `nlh-campaign` prove this trial-for-trial.
+pub fn reseed_system(hv: &mut Hypervisor, seed: u64) {
+    hv.rng = Pcg64::seed_from_u64(seed);
+    let mut app_idx: u64 = 0;
+    for dom in hv.domains.iter_mut() {
+        if let Some(p) = dom.program.as_mut() {
+            match dom.kind {
+                DomainKind::Priv => p.reseed(seed ^ 0xD0),
+                DomainKind::App | DomainKind::AppHvm => {
+                    app_idx += 1;
+                    p.reseed(seed ^ (0xA0 + app_idx));
+                }
+            }
+        }
+    }
+    for spec in hv.create_queue.iter_mut() {
+        app_idx += 1;
+        spec.program.reseed(seed ^ (0xA0 + app_idx));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn one_appvm_layout() {
-        let (hv, layout) = build_system(MachineConfig::small(), SetupKind::OneAppVm(BenchKind::UnixBench), 1);
+        let (hv, layout) = build_system(
+            MachineConfig::small(),
+            SetupKind::OneAppVm(BenchKind::UnixBench),
+            1,
+        );
         assert_eq!(hv.domains.len(), 2);
         assert_eq!(layout.initial_apps.len(), 1);
         assert!(layout.create_at.is_none());

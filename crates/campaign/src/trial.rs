@@ -2,13 +2,14 @@
 //! classify.
 
 use nlh_core::{RecoveryMechanism, RecoveryReport};
-use nlh_hv::MachineConfig;
+use nlh_hv::{Hypervisor, MachineConfig};
 use nlh_inject::{FaultType, InjectionOutcome, Injector};
 use nlh_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+use crate::boot_cache::BootCache;
 use crate::classify::{classify, TrialClass};
-use crate::setup::{build_system, SetupKind};
+use crate::setup::{build_system, SetupKind, SystemLayout};
 
 /// Second-level trigger budget: micro-ops executed in the hypervisor
 /// before injection (the paper uses 0–20 000 instructions; micro-ops are
@@ -42,7 +43,7 @@ impl TrialConfig {
 
 /// Raw observations collected while running a trial (input to
 /// classification).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrialObservations {
     /// A detector fired.
     pub detected: bool,
@@ -55,7 +56,7 @@ pub struct TrialObservations {
 }
 
 /// The result of one trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialResult {
     /// How the injected fault manifested (None if the trigger never fired,
     /// which does not happen in practice).
@@ -68,9 +69,33 @@ pub struct TrialResult {
     pub class: TrialClass,
 }
 
-/// Runs one complete fault-injection trial.
+/// Runs one complete fault-injection trial, cold-booting the target system.
 pub fn run_trial(config: &TrialConfig, mechanism: &dyn RecoveryMechanism) -> TrialResult {
-    let (mut hv, layout) = build_system(config.machine.clone(), config.setup, config.seed);
+    let (hv, layout) = build_system(config.machine.clone(), config.setup, config.seed);
+    run_trial_on(hv, &layout, config, mechanism)
+}
+
+/// Runs one trial on a warm-started system: a clone of the cache's
+/// post-boot template, reseeded for this trial. Produces results identical
+/// to [`run_trial`] (the differential tests pin this) without paying the
+/// boot cost.
+pub fn run_trial_warm(
+    config: &TrialConfig,
+    mechanism: &dyn RecoveryMechanism,
+    cache: &BootCache,
+) -> TrialResult {
+    let (hv, layout) = cache.checkout(&config.machine, config.setup, config.seed);
+    run_trial_on(hv, &layout, config, mechanism)
+}
+
+/// Runs the trial body — inject, detect, recover, classify — on an
+/// already-booted system.
+pub fn run_trial_on(
+    mut hv: Hypervisor,
+    layout: &SystemLayout,
+    config: &TrialConfig,
+    mechanism: &dyn RecoveryMechanism,
+) -> TrialResult {
     hv.support = mechanism.op_support();
 
     let mut injector = Injector::new(
@@ -102,8 +127,7 @@ pub fn run_trial(config: &TrialConfig, mechanism: &dyn RecoveryMechanism) -> Tri
                 }
             } else {
                 obs.second_detection = true;
-                obs.second_detection_reason =
-                    hv.detection().map(|d| d.reason.clone());
+                obs.second_detection_reason = hv.detection().map(|d| d.reason.clone());
                 break;
             }
         } else {
@@ -137,7 +161,7 @@ pub fn run_trial(config: &TrialConfig, mechanism: &dyn RecoveryMechanism) -> Tri
     }
 
     let now = hv.now_max();
-    let class = classify(&hv, &layout, &obs, now, deadline);
+    let class = classify(&hv, layout, &obs, now, deadline);
     TrialResult {
         injection: injector.outcome(),
         observations: obs,
@@ -150,7 +174,7 @@ pub fn run_trial(config: &TrialConfig, mechanism: &dyn RecoveryMechanism) -> Tri
 mod tests {
     use super::*;
     use crate::setup::BenchKind;
-    use nlh_core::{Microreset, Microreboot};
+    use nlh_core::{Microreboot, Microreset};
 
     #[test]
     fn failstop_trial_with_full_nilihype_usually_succeeds() {
@@ -227,6 +251,22 @@ mod tests {
             }
         }
         assert!(nm > n / 2, "{nm}/{n} non-manifested");
+    }
+
+    #[test]
+    fn warm_trial_equals_cold_trial() {
+        let cache = BootCache::new();
+        let mech = Microreset::nilihype();
+        for seed in [0, 17, 4096] {
+            let cfg = TrialConfig::new(
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Failstop,
+                seed,
+            );
+            let cold = run_trial(&cfg, &mech);
+            let warm = run_trial_warm(&cfg, &mech, &cache);
+            assert_eq!(cold, warm, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Differential determinism: warm-started trials are indistinguishable
+//! from cold-booted ones.
+//!
+//! The warm-start engine clones a cached post-boot template and re-derives
+//! all RNG state from the trial seed. These properties pin the claim that
+//! this changes *nothing*: across seeds, setups and fault types, the full
+//! [`TrialResult`] — injection outcome, observations, recovery report
+//! (every step, latency and repair count) and final classification — is
+//! equal to what a cold boot produces.
+
+use nlh_campaign::{run_trial, run_trial_warm, BenchKind, BootCache, SetupKind, TrialConfig};
+use nlh_core::{Enhancements, Microreboot, Microreset, RecoveryMechanism};
+use nlh_inject::FaultType;
+use proptest::prelude::*;
+
+fn setups() -> impl Strategy<Value = SetupKind> {
+    prop_oneof![
+        Just(SetupKind::OneAppVm(BenchKind::UnixBench)),
+        Just(SetupKind::OneAppVm(BenchKind::BlkBench)),
+        Just(SetupKind::OneAppVm(BenchKind::NetBench)),
+        Just(SetupKind::ThreeAppVm),
+        Just(SetupKind::TwoAppVmSharedCpu),
+    ]
+}
+
+fn faults() -> impl Strategy<Value = FaultType> {
+    prop_oneof![
+        Just(FaultType::Failstop),
+        Just(FaultType::Register),
+        Just(FaultType::Code),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// NiLiHype trials: warm == cold, bit for bit, across the whole
+    /// configuration space.
+    #[test]
+    fn warm_equals_cold_nilihype(seed in 0u64..100_000, setup in setups(), fault in faults()) {
+        let cache = BootCache::new();
+        let mech = Microreset::nilihype();
+        let cfg = TrialConfig::new(setup, fault, seed);
+        let cold = run_trial(&cfg, &mech);
+        let warm = run_trial_warm(&cfg, &mech, &cache);
+        prop_assert_eq!(cold, warm);
+    }
+
+    /// The equivalence holds for ReHype and for crippled mechanisms too —
+    /// it is a property of the boot path, not of any one recovery flavor.
+    #[test]
+    fn warm_equals_cold_other_mechanisms(seed in 0u64..100_000, pick in 0u8..2) {
+        let cache = BootCache::new();
+        let mech: Box<dyn RecoveryMechanism> = match pick {
+            0 => Box::new(Microreboot::rehype()),
+            _ => Box::new(Microreset::with_enhancements(Enhancements::none())),
+        };
+        let cfg = TrialConfig::new(
+            SetupKind::OneAppVm(BenchKind::UnixBench),
+            FaultType::Failstop,
+            seed,
+        );
+        let cold = run_trial(&cfg, mech.as_ref());
+        let warm = run_trial_warm(&cfg, mech.as_ref(), &cache);
+        prop_assert_eq!(cold, warm);
+    }
+
+    /// A single cache checked out repeatedly stays pristine: later
+    /// checkouts are unaffected by earlier trials having run (and mutated)
+    /// their clones.
+    #[test]
+    fn cache_reuse_does_not_leak_state(seed in 0u64..100_000) {
+        let cache = BootCache::new();
+        let mech = Microreset::nilihype();
+        let cfg = TrialConfig::new(
+            SetupKind::OneAppVm(BenchKind::UnixBench),
+            FaultType::Register,
+            seed,
+        );
+        let first = run_trial_warm(&cfg, &mech, &cache);
+        let second = run_trial_warm(&cfg, &mech, &cache);
+        prop_assert_eq!(first, second);
+    }
+}

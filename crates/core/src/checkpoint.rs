@@ -114,7 +114,10 @@ impl RecoveryMechanism for CheckpointRestore {
             "Restore and check consistency of page frame entries",
             self.cost.pfd_scan(&cfg),
         );
-        push("Re-integrate preserved heap state", self.cost.recreate_heap(&cfg));
+        push(
+            "Re-integrate preserved heap state",
+            self.cost.recreate_heap(&cfg),
+        );
         shared::apply_undo(hv);
         let requests_retried = shared::mark_retries(hv, true, true);
         shared::fix_scheduler(hv);
@@ -122,13 +125,14 @@ impl RecoveryMechanism for CheckpointRestore {
         // --- Hardware was NOT re-initialized: NiLiHype-style fixes.
         shared::ack_interrupts(hv);
         hv.reprogram_all_apics();
-        push("Reprogram hardware timers, acknowledge interrupts", SimDuration::from_micros(60));
+        push(
+            "Reprogram hardware timers, acknowledge interrupts",
+            SimDuration::from_micros(60),
+        );
 
         hv.finish_fsgs(&abandon.in_hv_vcpus, true);
 
-        let total = steps
-            .iter()
-            .fold(SimDuration::ZERO, |a, s| a + s.duration);
+        let total = steps.iter().fold(SimDuration::ZERO, |a, s| a + s.duration);
         hv.resume_after(total);
 
         Ok(RecoveryReport {

@@ -63,7 +63,10 @@ impl std::fmt::Display for RecoveryError {
                 write!(f, "recovery routine state corrupted by the fault")
             }
             RecoveryError::BootOptionsUnavailable => {
-                write!(f, "boot-line options were not logged; reboot cannot proceed")
+                write!(
+                    f,
+                    "boot-line options were not logged; reboot cannot proceed"
+                )
             }
             RecoveryError::NoDetection => write!(f, "no error has been detected"),
         }

@@ -145,9 +145,7 @@ impl LadderRung {
             LadderRung::Basic => "Basic",
             LadderRung::ClearIrqCount => "+ Clear IRQ count",
             LadderRung::ReHypeMechanisms => "+ Enhanced with ReHype mechanisms",
-            LadderRung::SchedConsistency => {
-                "+ Ensure consistency within scheduling metadata"
-            }
+            LadderRung::SchedConsistency => "+ Ensure consistency within scheduling metadata",
             LadderRung::ReprogramTimer => "+ Reprogram hardware timer",
             LadderRung::UnlockStaticLocks => "+ Unlock static locks",
             LadderRung::ReactivateTimerEvents => "+ Reactivate recurring timer events",
@@ -252,6 +250,8 @@ mod tests {
     #[test]
     fn labels_match_paper_rows() {
         assert_eq!(LadderRung::Basic.label(), "Basic");
-        assert!(LadderRung::UnlockStaticLocks.label().contains("static locks"));
+        assert!(LadderRung::UnlockStaticLocks
+            .label()
+            .contains("static locks"));
     }
 }

@@ -242,9 +242,7 @@ impl RecoveryMechanism for Microreboot {
 
         hv.finish_fsgs(&abandon.in_hv_vcpus, c.save_fsgs);
 
-        let total = steps
-            .iter()
-            .fold(SimDuration::ZERO, |a, s| a + s.duration);
+        let total = steps.iter().fold(SimDuration::ZERO, |a, s| a + s.duration);
         hv.resume_after(total);
 
         Ok(RecoveryReport {

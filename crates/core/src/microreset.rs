@@ -159,7 +159,10 @@ impl RecoveryMechanism for Microreset {
         }
         if e.nonidem_mitigation {
             shared::apply_undo(hv);
-            push("Apply non-idempotent undo log", SimDuration::from_micros(30));
+            push(
+                "Apply non-idempotent undo log",
+                SimDuration::from_micros(30),
+            );
         }
         if e.hypercall_retry || e.syscall_retry {
             requests_retried = match self.policy {
@@ -187,11 +190,17 @@ impl RecoveryMechanism for Microreset {
                     n
                 }
             };
-            push("Set up hypercall/syscall retry", SimDuration::from_micros(40));
+            push(
+                "Set up hypercall/syscall retry",
+                SimDuration::from_micros(40),
+            );
         }
         if e.ack_interrupts {
             shared::ack_interrupts(hv);
-            push("Acknowledge pending/in-service interrupts", SimDuration::from_micros(25));
+            push(
+                "Acknowledge pending/in-service interrupts",
+                SimDuration::from_micros(25),
+            );
         }
         if e.sched_consistency {
             shared::fix_scheduler(hv);
@@ -209,7 +218,10 @@ impl RecoveryMechanism for Microreset {
         }
         if e.reactivate_timer_events {
             timers_reactivated = shared::reactivate_timers(hv);
-            push("Reactivate recurring timer events", SimDuration::from_micros(40));
+            push(
+                "Reactivate recurring timer events",
+                SimDuration::from_micros(40),
+            );
         }
         if e.reprogram_timer {
             hv.reprogram_all_apics();
@@ -220,9 +232,7 @@ impl RecoveryMechanism for Microreset {
         hv.finish_fsgs(&abandon.in_hv_vcpus, e.save_fsgs);
         push("Resume normal operation", self.cost.microreset_others / 2);
 
-        let total = steps
-            .iter()
-            .fold(SimDuration::ZERO, |a, s| a + s.duration);
+        let total = steps.iter().fold(SimDuration::ZERO, |a, s| a + s.duration);
         hv.resume_after(total);
 
         Ok(RecoveryReport {
@@ -271,7 +281,7 @@ mod tests {
         use nlh_hv::hypercalls::HcRequest;
         use nlh_sim::{Pcg64, SimDuration, SimTime};
 
-        #[derive(Debug, Default)]
+        #[derive(Debug, Default, Clone)]
         pub struct Spinner {
             i: u64,
         }
@@ -291,6 +301,9 @@ mod tests {
             fn notice(&mut self, _now: SimTime, _n: GuestNotice) {}
             fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
                 WorkloadVerdict::Running
+            }
+            fn clone_box(&self) -> Box<dyn GuestProgram> {
+                Box::new(self.clone())
             }
         }
     }
@@ -372,7 +385,10 @@ mod tests {
         assert!(!hv.locks.held_locks().is_empty());
         // The machine subsequently fails again.
         hv.run_for(nlh_sim::SimDuration::from_secs(2));
-        assert!(hv.detection().is_some(), "residue must re-trigger detection");
+        assert!(
+            hv.detection().is_some(),
+            "residue must re-trigger detection"
+        );
     }
 
     #[test]
@@ -391,11 +407,14 @@ mod tests {
         // After resuming, the retry completes and the pending clears.
         hv.run_for(nlh_sim::SimDuration::from_millis(100));
         assert!(hv.detection().is_none());
-        assert!(hv.vcpus_with_pending().is_empty() || hv.domains.iter().all(|d| d
-            .pending
-            .as_ref()
-            .map(|p| !p.will_retry)
-            .unwrap_or(true)));
+        assert!(
+            hv.vcpus_with_pending().is_empty()
+                || hv.domains.iter().all(|d| d
+                    .pending
+                    .as_ref()
+                    .map(|p| !p.will_retry)
+                    .unwrap_or(true))
+        );
     }
 
     #[test]
@@ -403,7 +422,10 @@ mod tests {
         let full = Microreset::nilihype();
         let s = full.op_support();
         assert!(s.undo_logging && s.batched_completion_log && s.save_fsgs);
-        assert!(!s.ioapic_write_log && !s.bootline_log, "NiLiHype needs neither log");
+        assert!(
+            !s.ioapic_write_log && !s.bootline_log,
+            "NiLiHype needs neither log"
+        );
         let basic = Microreset::with_enhancements(Enhancements::none());
         let s = basic.op_support();
         assert!(!s.undo_logging && !s.save_fsgs);

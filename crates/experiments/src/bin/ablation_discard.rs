@@ -23,7 +23,10 @@ fn main() {
     hr();
     for (label, policy) in [
         ("Discard all threads (NiLiHype)", DiscardPolicy::AllThreads),
-        ("Discard faulting thread only", DiscardPolicy::FaultingThreadOnly),
+        (
+            "Discard faulting thread only",
+            DiscardPolicy::FaultingThreadOnly,
+        ),
     ] {
         let r = run_campaign(
             SetupKind::OneAppVm(BenchKind::UnixBench),

@@ -23,7 +23,10 @@ fn main() {
         "Configuration", "Recovery rate", "Latency (8 GiB)"
     );
     hr();
-    for (label, e) in [("With scan", Enhancements::full()), ("Without scan", no_scan)] {
+    for (label, e) in [
+        ("With scan", Enhancements::full()),
+        ("Without scan", no_scan),
+    ] {
         let r = run_campaign(
             SetupKind::ThreeAppVm,
             FaultType::Register,

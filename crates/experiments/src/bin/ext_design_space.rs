@@ -27,7 +27,9 @@ fn latency(mech: &dyn RecoveryMechanism) -> nlh_sim::SimDuration {
 fn main() {
     let opts = ExpOptions::from_args();
     let trials = opts.count(400, 2000);
-    println!("The component-level-recovery design space (3AppVM, Register faults, {trials} trials)");
+    println!(
+        "The component-level-recovery design space (3AppVM, Register faults, {trials} trials)"
+    );
     hr();
     println!(
         "{:34} {:>16} {:>18}",

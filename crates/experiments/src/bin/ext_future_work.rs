@@ -104,7 +104,9 @@ fn main() {
     println!("Extension 2: HVM vs PV AppVM (1AppVM UnixBench, fail-stop, {trials} trials)");
     hr();
     for hvm in [false, true] {
-        let ok = (0..trials).filter(|i| hvm_trial(hvm, opts.seed + i)).count() as u64;
+        let ok = (0..trials)
+            .filter(|i| hvm_trial(hvm, opts.seed + i))
+            .count() as u64;
         let label = if hvm { "HVM AppVM" } else { "PV AppVM" };
         println!(
             "{:44} {:>16}",

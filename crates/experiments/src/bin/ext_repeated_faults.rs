@@ -28,7 +28,12 @@ fn survival(seed: u64, n_faults: u32) -> u32 {
     for k in 0..n_faults {
         let window_start = SimTime::from_secs(1) + SimDuration::from_secs(2) * u64::from(k);
         let window = (window_start, window_start + SimDuration::from_millis(500));
-        let mut inj = Injector::new(FaultType::Failstop, seed ^ u64::from(k) << 32, window, 2_000);
+        let mut inj = Injector::new(
+            FaultType::Failstop,
+            seed ^ u64::from(k) << 32,
+            window,
+            2_000,
+        );
         let settle_end = window.1 + SimDuration::from_secs(1);
         // Run through the injection and a settling period.
         while hv.now() < settle_end {
@@ -77,12 +82,12 @@ fn main() {
     }
     println!("{:>8} {:>22}", "Faults", "Runs still healthy");
     hr();
-    for k in 1..=n_faults as usize {
+    for (k, survived) in survived_through.iter().enumerate().skip(1) {
         println!(
             "{:>8} {:>14} ({:>5.1}%)",
             k,
-            survived_through[k],
-            survived_through[k] as f64 / trials as f64 * 100.0
+            survived,
+            *survived as f64 / trials as f64 * 100.0
         );
     }
     hr();

@@ -5,9 +5,9 @@
 //! Paper campaign sizes: 1000 Failstop, 5000 Register, 2000 Code faults
 //! (chosen so the 95% confidence interval is within ±2%).
 
-use nlh_campaign::{run_campaign, SetupKind};
+use nlh_campaign::{run_campaign_with, SetupKind};
 use nlh_core::{Microreboot, Microreset};
-use nlh_experiments::{hr, pct, ExpOptions};
+use nlh_experiments::{hr, pct, print_latency, print_throughput, ExpOptions};
 use nlh_inject::FaultType;
 
 fn main() {
@@ -27,19 +27,21 @@ fn main() {
             FaultType::Register => opts.count(500, 5000),
             FaultType::Code => opts.count(300, 2000),
         };
-        let ni = run_campaign(
+        let ni = run_campaign_with(
             SetupKind::ThreeAppVm,
             fault,
             trials,
             opts.seed,
             Microreset::nilihype,
+            opts.boot_mode(),
         );
-        let re = run_campaign(
+        let re = run_campaign_with(
             SetupKind::ThreeAppVm,
             fault,
             trials,
             opts.seed,
             Microreboot::rehype,
+            opts.boot_mode(),
         );
         println!(
             "{:10} {:>18} {:>18} {:>18} {:>18}",
@@ -49,7 +51,12 @@ fn main() {
             pct(re.success_rate()),
             pct(re.no_vmf_rate()),
         );
-        breakdowns.push((fault, ni.manifestation_breakdown(), trials));
+        breakdowns.push((
+            fault,
+            ni.manifestation_breakdown(),
+            trials,
+            ni.telemetry.clone(),
+        ));
     }
     hr();
     println!("Paper: Failstop essentially identical (~96%); Register ~88.9% vs ~90.6%;");
@@ -62,7 +69,7 @@ fn main() {
         "Fault", "Non-manifested", "SDC", "Detected", "Trials"
     );
     hr();
-    for (fault, (nm, sdc, det), trials) in breakdowns {
+    for (fault, (nm, sdc, det), trials, _) in &breakdowns {
         println!(
             "{:10} {:>15.1}% {:>9.1}% {:>9.1}% {:>8}",
             fault.to_string(),
@@ -74,4 +81,12 @@ fn main() {
     }
     hr();
     println!("Paper: Register 74.8 / 5.6 / 19.6; Code 35.0 / 12.1 / 52.9; Failstop all detected.");
+    println!();
+    println!("Campaign engine telemetry (NiLiHype campaigns):");
+    for (fault, _, _, telemetry) in &breakdowns {
+        print_throughput(&fault.to_string(), telemetry);
+    }
+    if let Some((fault, _, _, telemetry)) = breakdowns.first() {
+        print_latency(&fault.to_string(), telemetry);
+    }
 }

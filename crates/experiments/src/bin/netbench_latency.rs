@@ -48,7 +48,10 @@ fn main() {
     println!("{:12} {:>16} {:>16}", "Mechanism", "Max reply gap", "Paper");
     hr();
     for (name, mech) in [
-        ("NiLiHype", &Microreset::nilihype() as &dyn RecoveryMechanism),
+        (
+            "NiLiHype",
+            &Microreset::nilihype() as &dyn RecoveryMechanism,
+        ),
         ("ReHype", &Microreboot::rehype() as &dyn RecoveryMechanism),
     ] {
         let mut worst = SimDuration::ZERO;
@@ -58,7 +61,11 @@ fn main() {
             worst = worst.max(gap);
             best = best.min(gap);
         }
-        let paper = if name == "NiLiHype" { "22 ms" } else { "713 ms" };
+        let paper = if name == "NiLiHype" {
+            "22 ms"
+        } else {
+            "713 ms"
+        };
         println!(
             "{:12} {:>10}..{:>4} {:>16}",
             name,

@@ -4,7 +4,7 @@
 //! fail-stop campaign and reports the successful recovery rate, next to the
 //! paper's measured value. Paper scale: ~1000 trials per rung.
 
-use nlh_experiments::{hr, pct, ExpOptions};
+use nlh_experiments::{hr, pct, print_latency, print_throughput, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -14,8 +14,8 @@ fn main() {
     hr();
     println!("{:55} {:>12} {:>8}", "Mechanism", "Measured", "Paper");
     hr();
-    let rows = nlh_campaign::run_ladder(trials, opts.seed);
-    for row in rows {
+    let rows = nlh_campaign::run_ladder_with(trials, opts.seed, opts.boot_mode());
+    for row in &rows {
         let paper = row
             .rung
             .paper_rate()
@@ -29,4 +29,8 @@ fn main() {
         );
     }
     hr();
+    if let Some(top) = rows.last() {
+        print_throughput("top rung", &top.result.telemetry);
+        print_latency("top rung", &top.result.telemetry);
+    }
 }

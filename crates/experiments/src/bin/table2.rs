@@ -29,7 +29,11 @@ fn main() {
         .iter()
         .filter(|s| s.duration < SimDuration::from_millis(1))
         .fold(SimDuration::ZERO, |a, s| a + s.duration);
-    println!("{:62} {:>8.2}ms", "(steps under 1 ms)", small.as_millis_f64());
+    println!(
+        "{:62} {:>8.2}ms",
+        "(steps under 1 ms)",
+        small.as_millis_f64()
+    );
     hr();
     println!("{:62} {:>7}ms", "Total", report.total.as_millis());
     println!();

@@ -58,10 +58,7 @@ fn main() {
     println!("Table IV: implementation complexity (code lines, tests stripped,");
     println!("measured over this reproduction's recovery crate with nlh-loc)");
     hr();
-    println!(
-        "{:44} {:>12} {:>12}",
-        "Category", "NiLiHype", "ReHype"
-    );
+    println!("{:44} {:>12} {:>12}", "Category", "NiLiHype", "ReHype");
     hr();
     println!(
         "{:44} {:>12} {:>12}",

@@ -11,9 +11,15 @@
 //! * `--full` — use the paper's campaign sizes (1000 Failstop / 5000
 //!   Register / 2000 Code, 1000 per ladder rung).
 //! * `--seed S` — base seed (default 2018, the year of the paper).
+//! * `--cold-boot` — boot every trial from scratch instead of warm-starting
+//!   from the campaign's boot cache (results are identical; this is the
+//!   escape hatch for validating the warm path, and for measuring what it
+//!   saves).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use nlh_campaign::{BootMode, CampaignTelemetry};
 
 /// Command-line options shared by the experiment binaries.
 #[derive(Debug, Clone)]
@@ -24,6 +30,8 @@ pub struct ExpOptions {
     pub full: bool,
     /// Base seed.
     pub seed: u64,
+    /// Cold-boot every trial instead of warm-starting from the boot cache.
+    pub cold_boot: bool,
 }
 
 impl ExpOptions {
@@ -37,6 +45,7 @@ impl ExpOptions {
             trials: None,
             full: false,
             seed: 2018,
+            cold_boot: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -50,8 +59,9 @@ impl ExpOptions {
                     let v = args.next().expect("--seed needs a value");
                     opts.seed = v.parse().expect("--seed needs an integer");
                 }
+                "--cold-boot" => opts.cold_boot = true,
                 "--help" | "-h" => {
-                    eprintln!("options: [--trials N] [--full] [--seed S]");
+                    eprintln!("options: [--trials N] [--full] [--seed S] [--cold-boot]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown option {other}; try --help"),
@@ -63,6 +73,52 @@ impl ExpOptions {
     /// The trial count to use, given a quick default and the paper's count.
     pub fn count(&self, quick: u64, paper: u64) -> u64 {
         self.trials.unwrap_or(if self.full { paper } else { quick })
+    }
+
+    /// The boot mode selected on the command line.
+    pub fn boot_mode(&self) -> BootMode {
+        if self.cold_boot {
+            BootMode::Cold
+        } else {
+            BootMode::Warm
+        }
+    }
+}
+
+/// Prints a one-line summary of a campaign's performance counters:
+/// throughput, boot mode, and the wall-clock setup-vs-run split.
+pub fn print_throughput(label: &str, t: &CampaignTelemetry) {
+    println!(
+        "[{label}] {:.0} trials/s on {} workers ({:?} boot, {:.1}% of worker time in setup)",
+        t.trials_per_sec,
+        t.workers,
+        t.boot_mode,
+        t.setup_fraction() * 100.0,
+    );
+}
+
+/// Prints the simulated recovery-latency distribution of a campaign:
+/// total latency quantiles plus the per-phase breakdown (Tables II/III).
+pub fn print_latency(label: &str, t: &CampaignTelemetry) {
+    let h = &t.recovery_latency_us;
+    if h.count() == 0 {
+        println!("[{label}] no recoveries, no latency distribution");
+        return;
+    }
+    println!(
+        "[{label}] recovery latency over {} recoveries: mean {:.0} us, p50 ~{:.0} us, p99 ~{:.0} us",
+        h.count(),
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+    );
+    for (phase, ph) in &t.phase_latency_us {
+        println!(
+            "    {:30} mean {:>8.1} us  (n={})",
+            phase,
+            ph.mean(),
+            ph.count()
+        );
     }
 }
 
@@ -80,29 +136,31 @@ pub fn pct(p: nlh_sim::stats::Proportion) -> String {
 mod tests {
     use super::*;
 
+    fn opts(trials: Option<u64>, full: bool) -> ExpOptions {
+        ExpOptions {
+            trials,
+            full,
+            seed: 1,
+            cold_boot: false,
+        }
+    }
+
     #[test]
     fn count_prefers_explicit_trials() {
-        let o = ExpOptions {
-            trials: Some(7),
-            full: true,
-            seed: 1,
-        };
-        assert_eq!(o.count(10, 1000), 7);
+        assert_eq!(opts(Some(7), true).count(10, 1000), 7);
     }
 
     #[test]
     fn count_uses_paper_size_with_full() {
-        let o = ExpOptions {
-            trials: None,
-            full: true,
-            seed: 1,
-        };
-        assert_eq!(o.count(10, 1000), 1000);
-        let o = ExpOptions {
-            trials: None,
-            full: false,
-            seed: 1,
-        };
-        assert_eq!(o.count(10, 1000), 10);
+        assert_eq!(opts(None, true).count(10, 1000), 1000);
+        assert_eq!(opts(None, false).count(10, 1000), 10);
+    }
+
+    #[test]
+    fn cold_boot_flag_selects_boot_mode() {
+        let mut o = opts(None, false);
+        assert_eq!(o.boot_mode(), BootMode::Warm);
+        o.cold_boot = true;
+        assert_eq!(o.boot_mode(), BootMode::Cold);
     }
 }

@@ -87,9 +87,7 @@ impl Hypervisor {
                 match self.rng.gen_range_usize(0, 3) {
                     0 => self.sched.cs_set_running_on(v, None),
                     1 => {
-                        let c = CpuId::from_index(
-                            self.rng.gen_range_usize(0, self.num_cpus()),
-                        );
+                        let c = CpuId::from_index(self.rng.gen_range_usize(0, self.num_cpus()));
                         self.sched.cs_set_running_on(v, Some(c));
                     }
                     _ => {
@@ -99,8 +97,7 @@ impl Hypervisor {
                 }
             }
             CorruptionKind::TimerHeapNode => {
-                let mut kinds: Vec<TimerEventKind> =
-                    vec![TimerEventKind::TimeSync];
+                let mut kinds: Vec<TimerEventKind> = vec![TimerEventKind::TimeSync];
                 for cpu in 0..self.num_cpus() {
                     let c = CpuId::from_index(cpu);
                     kinds.push(TimerEventKind::WatchdogHeartbeat(c));

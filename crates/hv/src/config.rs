@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// memory and a clock around 2.5 GHz. Fault-injection campaigns use a
 /// smaller memory so trials stay fast (the recovery *rate* is insensitive to
 /// memory size; the recovery *latency* experiments use [`MachineConfig::paper`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// Number of physical CPUs.
     pub num_cpus: usize,

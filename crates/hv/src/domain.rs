@@ -104,7 +104,7 @@ impl WorkloadVerdict {
 ///
 /// Implementations are deterministic given the RNG handed to
 /// [`GuestProgram::next_op`].
-pub trait GuestProgram: fmt::Debug + Send {
+pub trait GuestProgram: fmt::Debug + Send + Sync {
     /// Short name for reports (e.g. `"UnixBench"`).
     fn name(&self) -> &str;
 
@@ -119,6 +119,25 @@ pub trait GuestProgram: fmt::Debug + Send {
     /// the benchmark was expected to finish; a workload still incomplete
     /// after it should report [`FailReason::Incomplete`].
     fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict;
+
+    /// Clones the workload behind the trait object. Required so a booted
+    /// system (domains and their programs included) can serve as a reusable
+    /// warm-boot template.
+    fn clone_box(&self) -> Box<dyn GuestProgram>;
+
+    /// Re-derives every internal RNG from `seed`, exactly as if the
+    /// workload had been constructed with it. Warm-started trials clone a
+    /// template built from a canonical seed and then reseed; workloads
+    /// whose behaviour is seed-independent keep the default no-op.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+    }
+}
+
+impl Clone for Box<dyn GuestProgram> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Domain kind.
@@ -151,7 +170,7 @@ pub enum DomainState {
 }
 
 /// A domain (VM) and all its hypervisor-side state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Domain {
     /// Domain id (0 = PrivVM).
     pub id: DomId,
@@ -240,6 +259,7 @@ impl Domain {
 }
 
 /// Specification for creating a domain.
+#[derive(Clone)]
 pub struct DomainSpec {
     /// Privileged or application VM.
     pub kind: DomainKind,
@@ -257,10 +277,7 @@ impl fmt::Debug for DomainSpec {
             .field("kind", &self.kind)
             .field("pages", &self.pages)
             .field("pinned_cpu", &self.pinned_cpu)
-            .field(
-                "program",
-                &self.program.name(),
-            )
+            .field("program", &self.program.name())
             .finish()
     }
 }
@@ -282,6 +299,10 @@ impl GuestProgram for IdleLoop {
 
     fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
         WorkloadVerdict::CompletedOk
+    }
+
+    fn clone_box(&self) -> Box<dyn GuestProgram> {
+        Box::new(self.clone())
     }
 }
 

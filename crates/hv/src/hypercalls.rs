@@ -241,9 +241,9 @@ impl EntryCause {
     pub fn vcpu(self) -> Option<VcpuId> {
         match self {
             EntryCause::Hypercall(v) | EntryCause::Syscall(v) => Some(v),
-            EntryCause::TimerInterrupt
-            | EntryCause::DeviceInterrupt(_)
-            | EntryCause::Scheduler => None,
+            EntryCause::TimerInterrupt | EntryCause::DeviceInterrupt(_) | EntryCause::Scheduler => {
+                None
+            }
         }
     }
 

@@ -100,7 +100,11 @@ pub struct AbandonReport {
 /// public: the recovery mechanisms (`nlh-core`) and the fault injector
 /// (`nlh-inject`) operate on them exactly as the paper's code operates on
 /// Xen's internals.
-#[derive(Debug)]
+///
+/// The whole platform is `Clone`: a freshly booted system can be stored
+/// as a template and deep-copied per trial, which is how the campaign's
+/// warm-start engine avoids paying the boot cost on every trial.
+#[derive(Debug, Clone)]
 pub struct Hypervisor {
     /// Machine parameters.
     pub config: MachineConfig,
@@ -140,6 +144,9 @@ pub struct Hypervisor {
     pub undo_log: Vec<(VcpuId, UndoEntry)>,
     /// ReHype's I/O APIC write log (reconstructed routes).
     pub ioapic_log: Option<[Option<CpuId>; crate::interrupts::NUM_VECTORS]>,
+    /// Evidence of the boot-time memory scrub, when one was performed
+    /// (see [`Hypervisor::run_boot_scrub`]).
+    pub scrub: Option<crate::mem::ScrubLedger>,
     /// Last successful platform time synchronization.
     pub last_time_sync: SimTime,
     /// Fault-injection target: static scratch state that a reboot
@@ -244,6 +251,7 @@ impl Hypervisor {
             create_queue: VecDeque::new(),
             undo_log: Vec::new(),
             ioapic_log: None,
+            scrub: None,
             last_time_sync: SimTime::ZERO,
             boot_scratch_corrupted: false,
             recovery_entry_ok: true,
@@ -259,6 +267,20 @@ impl Hypervisor {
             config,
             tuning,
         }
+    }
+
+    /// Performs the boot-time memory scrub over all page frames (Xen's
+    /// `bootscrub`, on by default) and records its ledger.
+    ///
+    /// This walk over all of simulated RAM is the dominant cost of a cold
+    /// platform boot — the reason reboot-based recovery is slow, and the
+    /// work a campaign's boot cache amortizes across trials. It is
+    /// deterministic and seed-independent: a cloned scrubbed system is
+    /// indistinguishable from a freshly scrubbed one. [`Hypervisor::new`]
+    /// does not scrub, so unit tests and latency experiments that only
+    /// need structure stay cheap; the campaign boot path does.
+    pub fn run_boot_scrub(&mut self) {
+        self.scrub = Some(crate::mem::boot_scrub(self.pft.len()));
     }
 
     // ------------------------------------------------------------------
@@ -302,7 +324,8 @@ impl Hypervisor {
         // scheduler tick.
         if self.sched.current(spec.pinned_cpu).is_none() {
             self.sched.dequeue(vcpu);
-            self.sched.cs_set_percpu_current(spec.pinned_cpu, Some(vcpu));
+            self.sched
+                .cs_set_percpu_current(spec.pinned_cpu, Some(vcpu));
             self.sched.cs_set_running_on(vcpu, Some(spec.pinned_cpu));
             self.sched.cs_set_is_current(vcpu, true);
         }
@@ -372,7 +395,10 @@ impl Hypervisor {
     /// instant of hypervisor execution between two handlers.
     pub fn cpu_mid_program(&self, cpu: CpuId) -> bool {
         self.cpu_mode[cpu.index()] == CpuMode::Hv
-            && self.stacks[cpu.index()].last().map(|f| f.pc >= 1).unwrap_or(false)
+            && self.stacks[cpu.index()]
+                .last()
+                .map(|f| f.pc >= 1)
+                .unwrap_or(false)
     }
 
     /// Number of physical CPUs.
@@ -1032,7 +1058,9 @@ impl Hypervisor {
                         ops.push(IncRef(p));
                         ops.push(SetValidated(p, true));
                         if log {
-                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(p, false)));
+                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(
+                                p, false,
+                            )));
                         }
                     }
                 } else {
@@ -1042,7 +1070,9 @@ impl Hypervisor {
                         ops.push(Compute);
                         ops.push(SetValidated(p, true));
                         if log {
-                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(p, false)));
+                            ops.push(LogUndo(crate::hypercalls::UndoEntry::SetValidated(
+                                p, false,
+                            )));
                         }
                     }
                 }
@@ -1859,7 +1889,10 @@ mod tests {
         assert!(hv.detection().is_none());
         assert!(hv.sched.check_all().is_ok());
         assert_eq!(hv.pft.count_inconsistent(), 0);
-        assert!(hv.locks.held_locks().is_empty(), "steady state holds no locks");
+        assert!(
+            hv.locks.held_locks().is_empty(),
+            "steady state holds no locks"
+        );
         for cpu in 0..hv.num_cpus() {
             assert_eq!(hv.percpu[cpu].local_irq_count, 0);
         }
@@ -1989,7 +2022,7 @@ mod tests {
     fn netbench_traffic_flows_and_replies_recorded() {
         use crate::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
         /// Minimal echo guest: replies to each NetRx.
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct Echo {
             backlog: Vec<u64>,
         }
@@ -2010,6 +2043,9 @@ mod tests {
             }
             fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
                 WorkloadVerdict::Running
+            }
+            fn clone_box(&self) -> Box<dyn GuestProgram> {
+                Box::new(self.clone())
             }
         }
         let mut hv = small_hv();

@@ -265,8 +265,14 @@ mod tests {
         s.post_event(DomId(1), GuestEventKind::NetRx { seq: 2 });
         s.post_event(DomId(0), GuestEventKind::TimerVirq);
         assert_eq!(s.pending_events(DomId(1)), 2);
-        assert_eq!(s.take_event(DomId(1)), Some(GuestEventKind::NetRx { seq: 1 }));
-        assert_eq!(s.take_event(DomId(1)), Some(GuestEventKind::NetRx { seq: 2 }));
+        assert_eq!(
+            s.take_event(DomId(1)),
+            Some(GuestEventKind::NetRx { seq: 1 })
+        );
+        assert_eq!(
+            s.take_event(DomId(1)),
+            Some(GuestEventKind::NetRx { seq: 2 })
+        );
         assert_eq!(s.take_event(DomId(1)), None);
         assert_eq!(s.take_event(DomId(0)), Some(GuestEventKind::TimerVirq));
     }

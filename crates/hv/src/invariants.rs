@@ -128,8 +128,6 @@ mod tests {
         hv.timers
             .remove_kind(crate::timers::TimerEventKind::TimeSync);
         let v = check_quiescent(&hv);
-        assert!(v
-            .iter()
-            .any(|x| x.invariant == "recurring-events-present"));
+        assert!(v.iter().any(|x| x.invariant == "recurring-events-present"));
     }
 }

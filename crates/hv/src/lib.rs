@@ -48,8 +48,8 @@ pub mod chaos;
 mod config;
 pub mod detect;
 pub mod domain;
-mod hypervisor;
 pub mod hypercalls;
+mod hypervisor;
 pub mod interrupts;
 pub mod invariants;
 pub mod locks;

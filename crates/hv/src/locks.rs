@@ -250,7 +250,10 @@ mod tests {
         let mut reg = LockRegistry::new();
         let id = StaticLock::PageAlloc.id();
         assert_eq!(reg.acquire(id, CpuId(1)), AcquireOutcome::Acquired);
-        assert_eq!(reg.acquire(id, CpuId(2)), AcquireOutcome::Contended(CpuId(1)));
+        assert_eq!(
+            reg.acquire(id, CpuId(2)),
+            AcquireOutcome::Contended(CpuId(1))
+        );
         reg.release(id);
         assert_eq!(reg.acquire(id, CpuId(2)), AcquireOutcome::Acquired);
     }
@@ -260,7 +263,10 @@ mod tests {
         let mut reg = LockRegistry::new();
         let id = StaticLock::Console.id();
         assert_eq!(reg.acquire(id, CpuId(0)), AcquireOutcome::Acquired);
-        assert_eq!(reg.acquire(id, CpuId(0)), AcquireOutcome::Contended(CpuId(0)));
+        assert_eq!(
+            reg.acquire(id, CpuId(0)),
+            AcquireOutcome::Contended(CpuId(0))
+        );
     }
 
     #[test]

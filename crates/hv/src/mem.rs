@@ -12,6 +12,13 @@
 //!   re-integrate preserved allocations (211 ms, Table II); NiLiHype keeps
 //!   the heap in place. The heap also hosts dynamically-allocated locks,
 //!   which the shared "release heap locks" enhancement walks.
+//!
+//! A third piece matters to *campaign cost* rather than recovery:
+//! the **boot-time memory scrub** ([`boot_scrub`]). Xen walks and scrubs
+//! all of RAM when it boots (`bootscrub`, on by default), which is the bulk
+//! of why a full platform boot — and therefore reboot-based recovery, the
+//! paper's foil — is slow. Cold-booting a target system pays this walk;
+//! the campaign boot cache exists to pay it once per configuration.
 
 use nlh_sim::{DomId, LockId, PageNum};
 use serde::{Deserialize, Serialize};
@@ -133,7 +140,9 @@ impl PageFrameTable {
 
     /// The descriptor for `page`.
     pub fn get(&self, page: PageNum) -> Result<&PageFrameDescriptor, MemError> {
-        self.frames.get(page.index()).ok_or(MemError::BadFrame(page))
+        self.frames
+            .get(page.index())
+            .ok_or(MemError::BadFrame(page))
     }
 
     /// Mutable access to the descriptor for `page`.
@@ -257,6 +266,80 @@ impl PageFrameTable {
             .enumerate()
             .map(|(i, p)| (PageNum::from_index(i), p))
     }
+}
+
+/// Bytes per simulated page frame.
+pub const PAGE_BYTES: usize = 4096;
+
+/// Evidence left behind by the boot-time memory scrub: one checksum per
+/// scrubbed frame, plus a whole-memory digest.
+///
+/// Recovery code never consults the ledger — NiLiHype's point is precisely
+/// that recovery must *not* redo boot work, and ReHype's reboot preserves
+/// VM memory rather than re-scrubbing it. It exists so that the scrub is
+/// real work with an observable result (and so a cloned warm-start system
+/// provably carries the same scrubbed-memory state as a cold boot).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubLedger {
+    checksums: Vec<u64>,
+}
+
+impl ScrubLedger {
+    /// Number of scrubbed frames.
+    pub fn len(&self) -> usize {
+        self.checksums.len()
+    }
+
+    /// Whether no frames were scrubbed.
+    pub fn is_empty(&self) -> bool {
+        self.checksums.is_empty()
+    }
+
+    /// The scrub checksum recorded for `page`.
+    pub fn checksum(&self, page: PageNum) -> Option<u64> {
+        self.checksums.get(page.index()).copied()
+    }
+
+    /// A digest over all per-frame checksums.
+    pub fn digest(&self) -> u64 {
+        self.checksums.iter().fold(0xcbf29ce484222325, |acc, &c| {
+            (acc ^ c).rotate_left(5).wrapping_mul(0x100000001b3)
+        })
+    }
+}
+
+/// The boot-time memory scrub (Xen's `bootscrub`): fills every word of
+/// every frame with a frame-specific poison pattern, reads it back into a
+/// checksum, then repeats with the inverted pattern — the classic
+/// write/verify double pass of a memory test. The walk touches all of
+/// simulated RAM at word granularity, so its host cost scales with the
+/// machine's memory size exactly as the real scrub does; on the campaign
+/// machine it dominates the cost of a cold boot.
+pub fn boot_scrub(num_pages: usize) -> ScrubLedger {
+    const WORDS: usize = PAGE_BYTES / 8;
+    let mut frame = [0u64; WORDS];
+    let mut checksums = Vec::with_capacity(num_pages);
+    for page in 0..num_pages {
+        let mut sum = 0xcbf29ce484222325u64;
+        for pass in 0..2u64 {
+            // Frame-specific xorshift pattern, inverted on the second pass.
+            let mut x = (page as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(pass)
+                | 1;
+            for w in frame.iter_mut() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *w = if pass == 0 { x } else { !x };
+            }
+            for &w in frame.iter() {
+                sum = (sum ^ w).rotate_left(7).wrapping_mul(0x100000001b3);
+            }
+        }
+        checksums.push(sum);
+    }
+    ScrubLedger { checksums }
 }
 
 /// Kinds of hypervisor heap allocations the simulation tracks.
@@ -449,7 +532,10 @@ mod tests {
         t.get_mut(p).unwrap().state = PageState::Free;
         t.free.push(p);
         // Allocation of other pages is fine until the dirty one is popped.
-        assert_eq!(t.alloc(None, PageState::DomainOwned), Err(MemError::CorruptFrame(p)));
+        assert_eq!(
+            t.alloc(None, PageState::DomainOwned),
+            Err(MemError::CorruptFrame(p))
+        );
     }
 
     #[test]
@@ -480,14 +566,20 @@ mod tests {
     #[test]
     fn out_of_range_frame() {
         let t = table();
-        assert_eq!(t.get(PageNum(999)).err(), Some(MemError::BadFrame(PageNum(999))));
+        assert_eq!(
+            t.get(PageNum(999)).err(),
+            Some(MemError::BadFrame(PageNum(999)))
+        );
     }
 
     #[test]
     fn out_of_memory() {
         let mut t = PageFrameTable::new(1);
         t.alloc(None, PageState::HeapAllocated).unwrap();
-        assert_eq!(t.alloc(None, PageState::HeapAllocated), Err(MemError::OutOfMemory));
+        assert_eq!(
+            t.alloc(None, PageState::HeapAllocated),
+            Err(MemError::OutOfMemory)
+        );
     }
 
     #[test]
@@ -577,6 +669,26 @@ mod tests {
             Err(MemError::OutOfMemory)
         );
         assert_eq!(t.free_count(), 2, "partial allocation was rolled back");
+    }
+
+    #[test]
+    fn boot_scrub_is_deterministic_and_per_frame() {
+        let a = boot_scrub(16);
+        let b = boot_scrub(16);
+        assert_eq!(a, b, "scrub patterns are fixed, not seeded");
+        assert_eq!(a.len(), 16);
+        assert_eq!(a.digest(), b.digest());
+        // Each frame gets its own pattern, so checksums differ.
+        let first = a.checksum(PageNum::from_index(0)).unwrap();
+        let second = a.checksum(PageNum::from_index(1)).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(a.checksum(PageNum::from_index(16)), None);
+    }
+
+    #[test]
+    fn boot_scrub_digest_depends_on_memory_size() {
+        assert_ne!(boot_scrub(8).digest(), boot_scrub(16).digest());
+        assert!(boot_scrub(0).is_empty());
     }
 
     #[test]

@@ -196,7 +196,10 @@ mod tests {
         assert_eq!(wd.stall_checks, 0);
         assert!(!wd.nmi_check(now, period, 3));
         assert!(!wd.nmi_check(now, period, 3));
-        assert!(wd.nmi_check(now, period, 3), "stalls again without progress");
+        assert!(
+            wd.nmi_check(now, period, 3),
+            "stalls again without progress"
+        );
     }
 
     #[test]

@@ -205,15 +205,24 @@ mod tests {
         let mut t = TimerSubsystem::new(1);
         t.insert(CpuId(0), ev(30, TimerEventKind::TimeSync));
         t.insert(CpuId(0), ev(10, TimerEventKind::SchedTick(CpuId(0))));
-        t.insert(CpuId(0), ev(20, TimerEventKind::WatchdogHeartbeat(CpuId(0))));
+        t.insert(
+            CpuId(0),
+            ev(20, TimerEventKind::WatchdogHeartbeat(CpuId(0))),
+        );
         assert_eq!(t.peek_deadline(CpuId(0)), Some(SimTime::from_millis(10)));
         let now = SimTime::from_millis(100);
-        assert_eq!(t.pop_due(CpuId(0), now).unwrap().kind, TimerEventKind::SchedTick(CpuId(0)));
+        assert_eq!(
+            t.pop_due(CpuId(0), now).unwrap().kind,
+            TimerEventKind::SchedTick(CpuId(0))
+        );
         assert_eq!(
             t.pop_due(CpuId(0), now).unwrap().kind,
             TimerEventKind::WatchdogHeartbeat(CpuId(0))
         );
-        assert_eq!(t.pop_due(CpuId(0), now).unwrap().kind, TimerEventKind::TimeSync);
+        assert_eq!(
+            t.pop_due(CpuId(0), now).unwrap().kind,
+            TimerEventKind::TimeSync
+        );
         assert!(t.pop_due(CpuId(0), now).is_none());
     }
 
@@ -231,8 +240,14 @@ mod tests {
         t.insert(CpuId(0), ev(10, TimerEventKind::OneShot(1)));
         t.insert(CpuId(0), ev(10, TimerEventKind::OneShot(2)));
         let now = SimTime::from_millis(10);
-        assert_eq!(t.pop_due(CpuId(0), now).unwrap().kind, TimerEventKind::OneShot(1));
-        assert_eq!(t.pop_due(CpuId(0), now).unwrap().kind, TimerEventKind::OneShot(2));
+        assert_eq!(
+            t.pop_due(CpuId(0), now).unwrap().kind,
+            TimerEventKind::OneShot(1)
+        );
+        assert_eq!(
+            t.pop_due(CpuId(0), now).unwrap().kind,
+            TimerEventKind::OneShot(2)
+        );
     }
 
     #[test]
@@ -248,7 +263,10 @@ mod tests {
     #[test]
     fn remove_kind_models_lost_event() {
         let mut t = TimerSubsystem::new(2);
-        t.insert(CpuId(1), ev(10, TimerEventKind::WatchdogHeartbeat(CpuId(1))));
+        t.insert(
+            CpuId(1),
+            ev(10, TimerEventKind::WatchdogHeartbeat(CpuId(1))),
+        );
         t.insert(CpuId(1), ev(20, TimerEventKind::SchedTick(CpuId(1))));
         assert!(t.remove_kind(TimerEventKind::WatchdogHeartbeat(CpuId(1))));
         assert!(!t.contains_kind(TimerEventKind::WatchdogHeartbeat(CpuId(1))));
@@ -262,8 +280,16 @@ mod tests {
         let period = SimDuration::from_millis(100);
         let expected = vec![
             (TimerEventKind::TimeSync, CpuId(0), period),
-            (TimerEventKind::WatchdogHeartbeat(CpuId(0)), CpuId(0), period),
-            (TimerEventKind::WatchdogHeartbeat(CpuId(1)), CpuId(1), period),
+            (
+                TimerEventKind::WatchdogHeartbeat(CpuId(0)),
+                CpuId(0),
+                period,
+            ),
+            (
+                TimerEventKind::WatchdogHeartbeat(CpuId(1)),
+                CpuId(1),
+                period,
+            ),
         ];
         t.insert(CpuId(0), ev(10, TimerEventKind::TimeSync));
         let n = t.reactivate_recurring(&expected, SimTime::from_millis(500));

@@ -3,8 +3,9 @@
 //! reference-count corruption (the mechanism behind several of the paper's
 //! recovery-failure cases).
 
-use nlh_hv::domain::{DomainKind, DomainSpec, DomainState, GuestNotice, GuestOp, GuestProgram,
-                     WorkloadVerdict};
+use nlh_hv::domain::{
+    DomainKind, DomainSpec, DomainState, GuestNotice, GuestOp, GuestProgram, WorkloadVerdict,
+};
 use nlh_hv::hypercalls::HcRequest;
 use nlh_hv::interrupts::VEC_NET;
 use nlh_hv::{CpuId, DomId, Hypervisor, MachineConfig};
@@ -12,7 +13,7 @@ use nlh_sim::{Pcg64, SimDuration, SimTime};
 
 /// A management workload that creates a domain at 100 ms and destroys a
 /// target at 300 ms.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Manager {
     created: bool,
     destroyed: bool,
@@ -39,6 +40,9 @@ impl GuestProgram for Manager {
     fn notice(&mut self, _now: SimTime, _n: GuestNotice) {}
     fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
         WorkloadVerdict::CompletedOk
+    }
+    fn clone_box(&self) -> Box<dyn GuestProgram> {
+        Box::new(self.clone())
     }
 }
 
@@ -123,7 +127,7 @@ fn teardown_detects_stray_reference() {
 
 #[test]
 fn physdev_route_updates_ioapic_and_log() {
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Router {
         sent: bool,
     }
@@ -141,6 +145,9 @@ fn physdev_route_updates_ioapic_and_log() {
         fn notice(&mut self, _now: SimTime, _n: GuestNotice) {}
         fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
             WorkloadVerdict::CompletedOk
+        }
+        fn clone_box(&self) -> Box<dyn GuestProgram> {
+            Box::new(self.clone())
         }
     }
     let mut hv = Hypervisor::new(MachineConfig::small(), 4);

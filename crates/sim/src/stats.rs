@@ -180,6 +180,108 @@ impl Summary {
     }
 }
 
+/// A fixed-bucket logarithmic latency histogram.
+///
+/// Buckets are powers of two of the base resolution, so the histogram
+/// covers several orders of magnitude with a handful of counters and
+/// merges exactly across campaign worker shards. Values are unitless;
+/// campaigns feed microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts observations in `[2^i, 2^(i+1))` base units,
+    /// with `buckets[0]` also absorbing everything below the base.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+/// Number of power-of-two buckets: covers `[1, 2^40)` base units.
+const HIST_BUCKETS: usize = 40;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation. Non-positive values land in the first bucket.
+    pub fn add(&mut self, x: f64) {
+        let idx = if x < 2.0 {
+            0
+        } else {
+            (x.log2() as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += x.max(0.0);
+    }
+
+    /// Merges another histogram into this one (used to combine per-worker
+    /// shards).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The upper edge of the bucket containing the q-quantile (`q` in
+    /// `[0, 1]`), or zero when empty. Accurate to within a factor of two,
+    /// which is all a log-bucketed histogram can promise.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1)) as f64;
+            }
+        }
+        (1u64 << HIST_BUCKETS) as f64
+    }
+
+    /// Non-empty buckets as `(lower_edge, upper_edge, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                (lo, (1u64 << (i + 1)) as f64, c)
+            })
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
 impl Extend<f64> for Summary {
     fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
         for x in iter {
@@ -250,12 +352,58 @@ mod tests {
 
     #[test]
     fn summary_moments() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.stddev() - 2.138089935).abs() < 1e-6);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for x in [1.0, 3.0, 3.5, 100.0] {
+            h.add(x);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 26.875).abs() < 1e-9);
+        // 1.0 -> [0,2), 3.0/3.5 -> [2,4), 100.0 -> [64,128).
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0.0, 2.0, 1), (2.0, 4.0, 2), (64.0, 128.0, 1)]
+        );
+        // Median falls in the [2,4) bucket; the p99 in [64,128).
+        assert_eq!(h.quantile(0.5), 4.0);
+        assert_eq!(h.quantile(0.99), 128.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_feed() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for x in [5.0, 9.0, 1000.0] {
+            a.add(x);
+            all.add(x);
+        }
+        for x in [2.0, 700.0] {
+            b.add(x);
+            all.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl TraceRing {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier entries dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier entries dropped ...\n",
+                self.dropped
+            ));
         }
         for e in &self.entries {
             out.push_str(&e.to_string());

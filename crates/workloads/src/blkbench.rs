@@ -30,7 +30,7 @@ enum Phase {
 }
 
 /// The BlkBench-like workload.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlkBench {
     core: WorkloadCore,
     phase: Phase,
@@ -146,6 +146,14 @@ impl GuestProgram for BlkBench {
 
     fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict {
         self.core.verdict(now, deadline)
+    }
+
+    fn clone_box(&self) -> Box<dyn GuestProgram> {
+        Box::new(self.clone())
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.core.reseed(seed);
     }
 }
 

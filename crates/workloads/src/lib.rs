@@ -62,6 +62,13 @@ impl WorkloadCore {
         }
     }
 
+    /// Re-derives the RNG from `seed`, as if constructed with it. The seed
+    /// feeds nothing but the RNG, so this makes a cloned pristine workload
+    /// indistinguishable from a freshly constructed one.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = nlh_sim::Pcg64::seed_from_u64(seed);
+    }
+
     /// Establishes the run window on first call; returns whether the window
     /// has elapsed.
     pub fn past_end(&mut self, now: SimTime) -> bool {

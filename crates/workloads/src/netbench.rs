@@ -18,7 +18,7 @@ use nlh_sim::{Pcg64, SimDuration, SimTime};
 use crate::WorkloadCore;
 
 /// The NetBench receiver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NetBench {
     core: WorkloadCore,
     backlog: VecDeque<u64>,
@@ -80,6 +80,14 @@ impl GuestProgram for NetBench {
     fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict {
         self.core.verdict(now, deadline)
     }
+
+    fn clone_box(&self) -> Box<dyn GuestProgram> {
+        Box::new(self.clone())
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.core.reseed(seed);
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +99,10 @@ mod tests {
         let mut w = NetBench::new(1, SimDuration::from_secs(10), 0.5);
         let mut rng = Pcg64::seed_from_u64(0);
         for seq in 1..=3 {
-            w.notice(SimTime::ZERO, GuestNotice::Event(GuestEventKind::NetRx { seq }));
+            w.notice(
+                SimTime::ZERO,
+                GuestNotice::Event(GuestEventKind::NetRx { seq }),
+            );
         }
         for expect in 1..=3u64 {
             match w.next_op(SimTime::ZERO, &mut rng) {

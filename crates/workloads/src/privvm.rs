@@ -24,7 +24,7 @@ enum DriverPhase {
 }
 
 /// The PrivVM driver/management workload.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PrivVmDriver {
     rng: Pcg64,
     inbox: VecDeque<(DomId, u64)>,
@@ -51,7 +51,7 @@ impl PrivVmDriver {
             create_at,
             created: false,
             requests_served: 0,
-        crashed_oracle: false,
+            crashed_oracle: false,
         }
     }
 
@@ -131,6 +131,14 @@ impl GuestProgram for PrivVmDriver {
         } else {
             WorkloadVerdict::CompletedOk
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn GuestProgram> {
+        Box::new(self.clone())
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = Pcg64::seed_from_u64(seed);
     }
 }
 

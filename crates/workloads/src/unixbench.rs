@@ -15,7 +15,7 @@ use nlh_sim::{Pcg64, SimDuration, SimTime};
 use crate::WorkloadCore;
 
 /// The UnixBench-like workload.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UnixBench {
     core: WorkloadCore,
     /// Logical pins outstanding (guest-side bookkeeping to keep pin/unpin
@@ -123,6 +123,14 @@ impl GuestProgram for UnixBench {
     fn verdict(&self, now: SimTime, deadline: SimTime) -> WorkloadVerdict {
         self.core.verdict(now, deadline)
     }
+
+    fn clone_box(&self) -> Box<dyn GuestProgram> {
+        Box::new(self.clone())
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.core.reseed(seed);
+    }
 }
 
 #[cfg(test)]
@@ -147,9 +155,7 @@ mod tests {
             }
         }
         assert!(done);
-        assert!(w
-            .verdict(now, now + SimDuration::from_secs(1))
-            .is_ok());
+        assert!(w.verdict(now, now + SimDuration::from_secs(1)).is_ok());
         assert!(w.iterations() > 10);
     }
 

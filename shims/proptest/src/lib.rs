@@ -1,0 +1,489 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use:
+//! the [`Strategy`] trait (ranges, tuples, `any`, [`Just`], `prop_map`,
+//! `prop_oneof!`, `prop::collection::vec`, `prop::option::of`), the
+//! [`proptest!`] macro with `ident: Type` and `ident in strategy`
+//! parameters, `prop_assert*!`, `prop_assume!` and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Cases are generated from a deterministic per-test RNG (FNV-hashed test
+//! name + case index), so failures reproduce exactly across runs. There is
+//! no shrinking: the failing case's inputs are printed by the assertion
+//! message instead. Swapping the workspace dependency back to the registry
+//! `proptest = "1"` restores shrinking without any source change.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration: how many accepted cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the offline suite
+        // fast while still exercising the state spaces well.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case (used by the `proptest!` expansion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// The case ran to completion (assertions panic on failure).
+    Pass,
+    /// `prop_assume!` rejected the case; it does not count toward `cases`.
+    Reject,
+}
+
+/// Deterministic case RNG (SplitMix64 over a seeded state).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name`. Deterministic, so a
+    /// failing case reproduces on every run.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A value generator. Object-safe; combinators live on [`StrategyExt`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A boxed strategy, as produced by [`StrategyExt::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Combinators for [`Strategy`].
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// The result of [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a full-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The default strategy for `T`, covering its whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+}
+
+/// A uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; each case picks one arm uniformly.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+/// The `prop::` namespace (collection and option strategies).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Anything usable as a collection size: a `Range` (length uniform
+        /// within) or a bare `usize` (exact length), as in real proptest's
+        /// `Into<SizeRange>`.
+        pub trait IntoSizeRange {
+            /// The half-open range of permitted lengths.
+            fn into_size_range(self) -> Range<usize>;
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn into_size_range(self) -> Range<usize> {
+                self
+            }
+        }
+
+        impl IntoSizeRange for usize {
+            fn into_size_range(self) -> Range<usize> {
+                self..self + 1
+            }
+        }
+
+        /// A `Vec` strategy: length from `size`, elements from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into_size_range(),
+            }
+        }
+
+        /// The result of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start
+                    + if span == 0 {
+                        0
+                    } else {
+                        rng.below(span) as usize
+                    };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// `Option<T>`: `None` in about a quarter of the cases.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// The result of [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.sample(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, StrategyExt, TestOutcome,
+        TestRng, Union,
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::TestOutcome::Reject;
+        }
+    };
+}
+
+/// A uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::StrategyExt::boxed($arm)),+])
+    };
+}
+
+/// Defines property tests. Supports `#![proptest_config(..)]`, doc
+/// comments, `#[test]` attributes, and parameters written either as
+/// `name: Type` (via [`Arbitrary`]) or `name in strategy` / `mut name in
+/// strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __executed: u32 = 0;
+            let mut __case: u64 = 0;
+            while __executed < __cfg.cases {
+                assert!(
+                    __case < u64::from(__cfg.cases) * 16 + 64,
+                    "too many cases rejected by prop_assume!"
+                );
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                __case += 1;
+                // The closure gives `prop_assume!` an early-return target.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome = (|| -> $crate::TestOutcome {
+                    $crate::__proptest_bind!{ __rng; [$($params)*] $body }
+                })();
+                if __outcome == $crate::TestOutcome::Pass {
+                    __executed += 1;
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; [] $body:block) => {{
+        $body
+        #[allow(unreachable_code)]
+        $crate::TestOutcome::Pass
+    }};
+    ($rng:ident; [$p:ident : $t:ty $(, $($rest:tt)*)?] $body:block) => {{
+        let $p: $t = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!{ $rng; [$($($rest)*)?] $body }
+    }};
+    ($rng:ident; [mut $p:ident in $s:expr $(, $($rest:tt)*)?] $body:block) => {{
+        let mut $p = $crate::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_bind!{ $rng; [$($($rest)*)?] $body }
+    }};
+    ($rng:ident; [$p:ident in $s:expr $(, $($rest:tt)*)?] $body:block) => {{
+        let $p = $crate::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_bind!{ $rng; [$($($rest)*)?] $body }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect bounds; typed params and strategies mix.
+        #[test]
+        fn range_bounds(seed: u64, x in 10u64..20, v in prop::collection::vec(0u8..4, 0..8)) {
+            let _ = seed;
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        /// prop_oneof, Just, prop_map and tuples compose.
+        #[test]
+        fn combinators_compose(
+            y in prop_oneof![Just(1u32), (2u32..5).prop_map(|v| v * 10)],
+            opt in prop::option::of(0u8..3),
+            mut pair in (0u8..2, any::<bool>()),
+        ) {
+            prop_assert!(y == 1 || (20..50).contains(&y));
+            if let Some(o) = opt {
+                prop_assert!(o < 3);
+            }
+            pair.0 += 1;
+            prop_assert!(pair.0 <= 2);
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_rejects(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+}

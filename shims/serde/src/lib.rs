@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real `serde` cannot be fetched. The workspace only uses serde as
+//! `#[derive(Serialize, Deserialize)]` annotations (no serialization is
+//! performed anywhere yet); this crate supplies no-op derives plus the
+//! trait names so imports resolve. Swapping the workspace dependency back
+//! to the registry `serde = "1"` restores real serialization without any
+//! source change.
+
+/// Marker trait mirroring `serde::Serialize`; no methods because nothing
+/// in the workspace serializes yet.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace annotates its data types with serde derives so they are
+//! ready for wire formats, but nothing serializes yet and the build must
+//! succeed with no registry access. These derives expand to nothing; the
+//! real `serde_derive` can be swapped back in by pointing the workspace
+//! dependency at crates.io.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -44,11 +44,7 @@ fn nilihype_recovers_most_failstop_faults_three_appvm() {
         "NiLiHype failstop: {}",
         r.success_rate()
     );
-    assert!(
-        r.no_vmf_rate().value() > 0.75,
-        "noVMF: {}",
-        r.no_vmf_rate()
-    );
+    assert!(r.no_vmf_rate().value() > 0.75, "noVMF: {}", r.no_vmf_rate());
 }
 
 #[test]
@@ -145,10 +141,7 @@ fn rehype_without_bootline_log_always_fails() {
         move || Microreboot::with_config(config),
     );
     assert_eq!(r.successes, 0);
-    assert!(r
-        .failure_reasons
-        .keys()
-        .any(|k| k.contains("boot-line")));
+    assert!(r.failure_reasons.keys().any(|k| k.contains("boot-line")));
 }
 
 #[test]
@@ -226,11 +219,8 @@ fn single_trial_reports_recovery_details() {
 fn shared_cpu_setup_runs_and_recovers() {
     // The paper's future-work configuration: two vCPUs share one CPU.
     use nilihype::hv::MachineConfig;
-    let (mut hv, layout) = nilihype::campaign::build_system(
-        MachineConfig::small(),
-        SetupKind::TwoAppVmSharedCpu,
-        21,
-    );
+    let (mut hv, layout) =
+        nilihype::campaign::build_system(MachineConfig::small(), SetupKind::TwoAppVmSharedCpu, 21);
     let end = nilihype::sim::SimTime::from_secs(12);
     hv.run_until(end);
     assert!(hv.detection().is_none());

@@ -1,0 +1,83 @@
+//! Golden regression tests: exact campaign outputs at pinned seeds.
+//!
+//! The calibration tests check tolerance bands against the paper's
+//! figures; these pin the *exact* aggregate counts of small Table I and
+//! Figure 2 campaigns at fixed seeds. Any change to boot construction,
+//! seeding, stepping order, injection, recovery, or classification shifts
+//! at least one of these counts — making unintended behaviour changes
+//! (e.g. from a future warm-start or scheduler refactor) visible in review
+//! instead of silently drifting the reproduced figures.
+//!
+//! If a change *intentionally* alters trial behaviour, re-record the
+//! constants: print the actual values (each assertion message carries
+//! them) and update the tables below.
+
+use nilihype::campaign::{run_campaign, run_ladder, SetupKind};
+use nilihype::inject::FaultType;
+use nilihype::recovery::{Microreboot, Microreset};
+
+/// Table I ladder, 40 trials per rung, base seed 2018:
+/// (rung index, detected, successes, no_vmf).
+const GOLDEN_LADDER: [(usize, u64, u64, u64); 7] = [
+    (0, 40, 0, 0),   // Basic
+    (1, 40, 5, 5),   // ClearIrqCount
+    (2, 40, 21, 21), // ReHypeMechanisms
+    (3, 40, 31, 31), // SchedConsistency
+    (4, 40, 38, 38), // ReprogramTimer
+    (5, 40, 38, 38), // UnlockStaticLocks
+    (6, 40, 38, 38), // ReactivateTimerEvents
+];
+
+#[test]
+fn golden_table1_ladder_counts() {
+    let rows = run_ladder(40, 2018);
+    assert_eq!(rows.len(), GOLDEN_LADDER.len());
+    for (row, &(idx, detected, successes, no_vmf)) in rows.iter().zip(&GOLDEN_LADDER) {
+        let got = (
+            idx,
+            row.result.detected,
+            row.result.successes,
+            row.result.no_vmf,
+        );
+        assert_eq!(
+            got,
+            (idx, detected, successes, no_vmf),
+            "ladder rung {:?} drifted (index, detected, successes, no_vmf)",
+            row.rung
+        );
+    }
+}
+
+/// Figure 2 campaigns, 3AppVM, 30 trials, seed 77:
+/// (non_manifested, sdc, detected, successes, no_vmf) per fault type.
+/// NiLiHype and ReHype agree exactly at these seeds: injection outcomes
+/// are mechanism-independent, and both mechanisms recover the same trials.
+const GOLDEN_FIG2: [(FaultType, [u64; 5]); 3] = [
+    (FaultType::Failstop, [0, 0, 30, 30, 30]),
+    (FaultType::Register, [23, 3, 4, 2, 2]),
+    (FaultType::Code, [13, 2, 15, 11, 9]),
+];
+
+#[test]
+fn golden_fig2_nilihype_counts() {
+    for &(fault, expect) in &GOLDEN_FIG2 {
+        let r = run_campaign(SetupKind::ThreeAppVm, fault, 30, 77, Microreset::nilihype);
+        let got = [r.non_manifested, r.sdc, r.detected, r.successes, r.no_vmf];
+        assert_eq!(
+            got, expect,
+            "fig2 NiLiHype {fault} drifted (non_manifested, sdc, detected, successes, no_vmf)"
+        );
+    }
+}
+
+#[test]
+fn golden_fig2_rehype_counts() {
+    for &(fault, expect) in &GOLDEN_FIG2 {
+        let r = run_campaign(SetupKind::ThreeAppVm, fault, 30, 77, Microreboot::rehype);
+        let got = [r.non_manifested, r.sdc, r.detected, r.successes, r.no_vmf];
+        assert_eq!(
+            got, expect,
+            "fig2 ReHype {fault} drifted (non_manifested, sdc, detected, successes, no_vmf)"
+        );
+    }
+}

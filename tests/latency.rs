@@ -5,7 +5,10 @@ use nilihype::hv::{CpuId, Hypervisor, MachineConfig};
 use nilihype::recovery::{Microreboot, Microreset, RecoveryMechanism};
 use nilihype::sim::SimDuration;
 
-fn recover(machine: MachineConfig, mech: &dyn RecoveryMechanism) -> nilihype::recovery::RecoveryReport {
+fn recover(
+    machine: MachineConfig,
+    mech: &dyn RecoveryMechanism,
+) -> nilihype::recovery::RecoveryReport {
     let mut hv = Hypervisor::new(machine, 1);
     hv.raise_panic(CpuId(0), "latency measurement fault");
     mech.recover(&mut hv).expect("recovery runs")
@@ -73,7 +76,10 @@ fn latency_scales_with_memory() {
     let scan8 = t8.as_millis_f64() - 1.0;
     let scan64 = t64.as_millis_f64() - 1.0;
     let ratio = scan64 / scan8;
-    assert!((6.0..10.5).contains(&ratio), "8x memory -> ~8x scan: {ratio:.2}");
+    assert!(
+        (6.0..10.5).contains(&ratio),
+        "8x memory -> ~8x scan: {ratio:.2}"
+    );
 }
 
 #[test]
