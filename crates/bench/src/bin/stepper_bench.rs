@@ -1,0 +1,100 @@
+//! Quick-mode stepper benchmark: steps/sec and allocs/step on the
+//! warm-trial workload, written as `BENCH_stepper.json`.
+//!
+//! CI runs this on every push so the stepping-hot-path trajectory is
+//! tracked from PR 5 onward (see `ARCHITECTURE.md`, "How to profile a
+//! trial"). The workload is the campaign's warm-trial body: a booted
+//! 1AppVM/UnixBench system stepped through its steady state — timer
+//! interrupts, scheduler ticks, hypercalls, idle — exactly what dominates
+//! a fault-injection campaign after PR 1's warm-start change.
+//!
+//! Usage: `stepper_bench [--steps N] [--out PATH]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use nlh_campaign::{build_system, BenchKind, SetupKind};
+use nlh_hv::MachineConfig;
+use nlh_sim::SimDuration;
+
+/// A pass-through allocator that counts allocations, so the benchmark can
+/// report allocs/step alongside steps/sec.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let mut steps: u64 = 2_000_000;
+    let mut out = String::from("BENCH_stepper.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--steps" => {
+                steps = args.next().and_then(|v| v.parse().ok()).expect("--steps N");
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    // The tracked workload: warm-trial steady state (PrivVM + UnixBench
+    // AppVM), past the boot transient.
+    let (mut hv, _layout) = build_system(
+        MachineConfig::small(),
+        SetupKind::OneAppVm(BenchKind::UnixBench),
+        2018,
+    );
+    hv.run_for(SimDuration::from_millis(200));
+
+    // Per-step path (what the trial loop drives while the injector is
+    // counting micro-ops).
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        hv.step_any();
+    }
+    let per_step_secs = t0.elapsed().as_secs_f64();
+    let per_step_allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let per_step_rate = steps as f64 / per_step_secs;
+
+    // Batched path (what run_until/run_for drive outside the injection
+    // window): run the same number of steps through the batched loop.
+    let before = hv.steps_executed();
+    let a1 = ALLOCS.load(Ordering::Relaxed);
+    let t1 = Instant::now();
+    while hv.steps_executed() - before < steps && hv.detection().is_none() {
+        hv.run_for(SimDuration::from_millis(50));
+    }
+    let batched_secs = t1.elapsed().as_secs_f64();
+    let batched_steps = hv.steps_executed() - before;
+    let batched_allocs = ALLOCS.load(Ordering::Relaxed) - a1;
+    let batched_rate = batched_steps as f64 / batched_secs;
+
+    let json = format!(
+        "{{\n  \"workload\": \"warm_trial/1appvm_unixbench\",\n  \"steps\": {steps},\n  \"per_step\": {{\n    \"steps_per_sec\": {per_step_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"batched\": {{\n    \"steps_per_sec\": {batched_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }}\n}}\n",
+        per_step_allocs as f64 / steps as f64,
+        batched_allocs as f64 / batched_steps.max(1) as f64,
+    );
+    std::fs::write(&out, &json).expect("write bench json");
+    print!("{json}");
+}

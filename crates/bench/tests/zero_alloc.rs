@@ -1,0 +1,97 @@
+//! Pins the stepper fast path's headline property: once a warm-trial
+//! system reaches steady state, stepping performs **zero** heap
+//! allocations per micro-op.
+//!
+//! A counting `#[global_allocator]` (test binaries get their own, so the
+//! workspace libraries stay `forbid(unsafe_code)`) watches a long batched
+//! run after a warm-up window. The warm-up lets the per-CPU program pools
+//! fill, every pooled buffer grow to the longest handler it will carry,
+//! and the hypervisor's scratch vectors reach their high-water marks;
+//! after that, every handler entry must be served from recycled buffers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nlh_campaign::{build_system, BenchKind, SetupKind};
+use nlh_hv::MachineConfig;
+use nlh_sim::SimDuration;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Drives the batched stepping loop (what trials run outside the
+/// injection window) for at least `n` steps of simulated work.
+fn run_steps(hv: &mut nlh_hv::Hypervisor, n: u64) {
+    let target = hv.steps_executed() + n;
+    while hv.steps_executed() < target {
+        assert!(hv.detection().is_none(), "healthy run must not detect");
+        hv.run_for(SimDuration::from_millis(50));
+    }
+}
+
+#[test]
+fn steady_state_stepping_allocates_nothing() {
+    let (mut hv, _layout) = build_system(
+        MachineConfig::small(),
+        SetupKind::OneAppVm(BenchKind::UnixBench),
+        2018,
+    );
+    // Warm-up: fill the program pools and grow scratch to steady state.
+    run_steps(&mut hv, 500_000);
+
+    let before_steps = hv.steps_executed();
+    let before_allocs = ALLOCS.load(Ordering::Relaxed);
+    run_steps(&mut hv, 300_000);
+    let steps = hv.steps_executed() - before_steps;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before_allocs;
+
+    assert!(
+        steps >= 300_000,
+        "workload actually stepped ({steps} steps)"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state stepping must not allocate: {allocs} allocations \
+         over {steps} steps"
+    );
+}
+
+#[test]
+fn pooling_off_reproduces_the_old_allocation_behaviour() {
+    let (mut hv, _layout) = build_system(
+        MachineConfig::small(),
+        SetupKind::OneAppVm(BenchKind::UnixBench),
+        2018,
+    );
+    hv.pooling = false;
+    run_steps(&mut hv, 500_000);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    run_steps(&mut hv, 300_000);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(
+        allocs > 0,
+        "with pooling disabled every handler entry allocates a fresh \
+         program buffer; the A/B knob is what the substrate bench compares"
+    );
+}

@@ -52,6 +52,13 @@ pub struct CampaignTelemetry {
     /// Wall-clock nanoseconds spent running trial bodies, summed over
     /// workers.
     pub run_nanos: u64,
+    /// Simulation steps executed by all trial bodies (sum of
+    /// [`TrialResult::steps`]). Deterministic per campaign config.
+    pub total_steps: u64,
+    /// Stepper throughput: `total_steps` divided by wall-clock time spent
+    /// in trial bodies (`run_nanos`), in steps per second. Host-dependent;
+    /// this is the number the stepper fast path optimises.
+    pub steps_per_sec: f64,
     /// Total recovery latency per recovered trial, in simulated
     /// microseconds.
     pub recovery_latency_us: Histogram,
@@ -254,6 +261,12 @@ where
             },
             setup_nanos: merged.setup_nanos,
             run_nanos: merged.run_nanos,
+            total_steps: merged.steps,
+            steps_per_sec: if merged.run_nanos > 0 {
+                merged.steps as f64 / (merged.run_nanos as f64 / 1e9)
+            } else {
+                0.0
+            },
             recovery_latency_us: merged.recovery_latency_us,
             phase_latency_us: merged.phase_latency_us,
         },
@@ -276,6 +289,7 @@ struct Shard {
     failure_reasons: BTreeMap<String, u64>,
     setup_nanos: u64,
     run_nanos: u64,
+    steps: u64,
     recovery_latency_us: Histogram,
     phase_latency_us: BTreeMap<String, Histogram>,
 }
@@ -292,12 +306,14 @@ impl Shard {
             failure_reasons: BTreeMap::new(),
             setup_nanos: 0,
             run_nanos: 0,
+            steps: 0,
             recovery_latency_us: Histogram::new(),
             phase_latency_us: BTreeMap::new(),
         }
     }
 
     fn add(&mut self, result: &TrialResult) {
+        self.steps += result.steps;
         match &result.class {
             TrialClass::NonManifested => self.non_manifested += 1,
             TrialClass::Sdc => self.sdc += 1,
@@ -341,6 +357,7 @@ impl Shard {
         }
         self.setup_nanos += other.setup_nanos;
         self.run_nanos += other.run_nanos;
+        self.steps += other.steps;
         self.recovery_latency_us.merge(&other.recovery_latency_us);
         for (k, h) in other.phase_latency_us {
             self.phase_latency_us.entry(k).or_default().merge(&h);
@@ -435,6 +452,8 @@ mod tests {
         assert!(t.trials_per_sec > 0.0);
         assert!(t.setup_nanos > 0 && t.run_nanos > 0);
         assert!(t.setup_fraction() > 0.0 && t.setup_fraction() < 1.0);
+        assert!(t.total_steps > 0, "trial bodies execute steps");
+        assert!(t.steps_per_sec > 0.0);
         // Phase histograms carry the per-step breakdown of Table III.
         assert!(!t.phase_latency_us.is_empty());
         for h in t.phase_latency_us.values() {

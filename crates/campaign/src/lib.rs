@@ -29,4 +29,6 @@ pub use classify::{classify, TrialClass};
 pub use ladder::{run_ladder, run_ladder_with, LadderRow};
 pub use overhead::{measure_hv_cycles, overhead_percent, OverheadPoint};
 pub use setup::{build_system, reseed_system, BenchKind, SetupKind, SystemLayout};
-pub use trial::{run_trial, run_trial_on, run_trial_warm, TrialConfig, TrialResult};
+pub use trial::{
+    run_trial, run_trial_on, run_trial_on_unbatched, run_trial_warm, TrialConfig, TrialResult,
+};

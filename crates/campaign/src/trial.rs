@@ -67,6 +67,12 @@ pub struct TrialResult {
     pub recovery: Option<RecoveryReport>,
     /// Final classification.
     pub class: TrialClass,
+    /// Simulation steps executed by the trial body (campaign telemetry
+    /// divides the shard total by wall time for its steps/sec counter).
+    /// Deterministic per config, so it participates in `PartialEq`: the
+    /// batched and reference trial loops must execute identical step
+    /// sequences, not merely reach the same classification.
+    pub steps: u64,
 }
 
 /// Runs one complete fault-injection trial, cold-booting the target system.
@@ -90,11 +96,43 @@ pub fn run_trial_warm(
 
 /// Runs the trial body — inject, detect, recover, classify — on an
 /// already-booted system.
+///
+/// Drives the hypervisor through its batched stepping fast path wherever
+/// the injector has no per-step work: the whole pre-trigger window runs
+/// under [`Hypervisor::run_until_marker`] (which hands back the exact step
+/// on which the trigger timer fires), and everything after the fault is
+/// applied runs under [`Hypervisor::run_until`]. Only the short
+/// micro-op-counting phase between the two steps one at a time. The
+/// executed step sequence — and therefore the [`TrialResult`] — is
+/// bit-identical to [`run_trial_on_unbatched`] (differential-tested).
 pub fn run_trial_on(
+    hv: Hypervisor,
+    layout: &SystemLayout,
+    config: &TrialConfig,
+    mechanism: &dyn RecoveryMechanism,
+) -> TrialResult {
+    run_trial_loop(hv, layout, config, mechanism, true)
+}
+
+/// Reference trial body: one fully checked `step_any` + `on_step` per
+/// iteration, exactly as the trial loop worked before batched stepping.
+/// Kept at runtime so differential tests can pin [`run_trial_on`]
+/// against it.
+pub fn run_trial_on_unbatched(
+    hv: Hypervisor,
+    layout: &SystemLayout,
+    config: &TrialConfig,
+    mechanism: &dyn RecoveryMechanism,
+) -> TrialResult {
+    run_trial_loop(hv, layout, config, mechanism, false)
+}
+
+fn run_trial_loop(
     mut hv: Hypervisor,
     layout: &SystemLayout,
     config: &TrialConfig,
     mechanism: &dyn RecoveryMechanism,
+    batched: bool,
 ) -> TrialResult {
     hv.support = mechanism.op_support();
 
@@ -109,6 +147,7 @@ pub fn run_trial_on(
     let deadline = trial_end.saturating_since(nlh_sim::SimTime::ZERO);
     let deadline = nlh_sim::SimTime::ZERO + deadline.saturating_sub(SimDuration::from_millis(500));
 
+    let steps_before = hv.steps_executed();
     let mut obs = TrialObservations::default();
     let mut recovery: Option<RecoveryReport> = None;
     let mut recovered = false;
@@ -131,30 +170,46 @@ pub fn run_trial_on(
                 break;
             }
         } else {
-            let (cpu, out) = hv.step_any();
-            injector.on_step(&mut hv, cpu, out);
-            // Short-circuit: a non-manifested or SDC fault can no longer
-            // trigger detection in this model; the classification is
-            // already determined, so skip simulating the rest of the run.
-            if hv.detection().is_none() {
-                match injector.outcome() {
-                    Some(InjectionOutcome::NonManifested) => {
-                        return TrialResult {
-                            injection: injector.outcome(),
-                            class: TrialClass::NonManifested,
-                            observations: obs,
-                            recovery: None,
-                        };
+            // Pick the stepping strategy for this phase of the injector.
+            // `on_step` is a pure no-op while Waiting (below `fire_at`) and
+            // after Done, so those stretches run batched; only the
+            // micro-op-counting phase in between needs a call per step.
+            let stepped = if batched && injector.is_done() {
+                hv.run_until(trial_end);
+                None
+            } else if batched && injector.is_waiting() {
+                hv.run_until_marker(trial_end, injector.fire_at())
+            } else {
+                Some(hv.step_any())
+            };
+            if let Some((cpu, out)) = stepped {
+                injector.on_step(&mut hv, cpu, out);
+                // Short-circuit: a non-manifested or SDC fault can no
+                // longer trigger detection in this model; the
+                // classification is already determined, so skip simulating
+                // the rest of the run.
+                if hv.detection().is_none() {
+                    match injector.outcome() {
+                        Some(InjectionOutcome::NonManifested) => {
+                            return TrialResult {
+                                injection: injector.outcome(),
+                                class: TrialClass::NonManifested,
+                                observations: obs,
+                                recovery: None,
+                                steps: hv.steps_executed() - steps_before,
+                            };
+                        }
+                        Some(InjectionOutcome::Sdc) => {
+                            return TrialResult {
+                                injection: injector.outcome(),
+                                class: TrialClass::Sdc,
+                                observations: obs,
+                                recovery: None,
+                                steps: hv.steps_executed() - steps_before,
+                            };
+                        }
+                        _ => {}
                     }
-                    Some(InjectionOutcome::Sdc) => {
-                        return TrialResult {
-                            injection: injector.outcome(),
-                            class: TrialClass::Sdc,
-                            observations: obs,
-                            recovery: None,
-                        };
-                    }
-                    _ => {}
                 }
             }
         }
@@ -167,6 +222,7 @@ pub fn run_trial_on(
         observations: obs,
         recovery,
         class,
+        steps: hv.steps_executed() - steps_before,
     }
 }
 

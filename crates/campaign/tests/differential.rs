@@ -1,14 +1,24 @@
 //! Differential determinism: warm-started trials are indistinguishable
-//! from cold-booted ones.
+//! from cold-booted ones, and the stepper fast path (pooled programs +
+//! batched stepping) is indistinguishable from the per-step reference.
 //!
 //! The warm-start engine clones a cached post-boot template and re-derives
 //! all RNG state from the trial seed. These properties pin the claim that
 //! this changes *nothing*: across seeds, setups and fault types, the full
 //! [`TrialResult`] — injection outcome, observations, recovery report
-//! (every step, latency and repair count) and final classification — is
-//! equal to what a cold boot produces.
+//! (every step, latency and repair count), final classification and step
+//! count — is equal to what a cold boot produces.
+//!
+//! The second family pins the stepper fast path the same way:
+//! [`run_trial_on`] (batched stepping, pooled program buffers) against
+//! [`run_trial_on_unbatched`] with pooling disabled (one checked `step_any`
+//! per iteration, fresh `Vec` per hypervisor entry — the pre-optimisation
+//! stepper, kept at runtime exactly for this comparison).
 
-use nlh_campaign::{run_trial, run_trial_warm, BenchKind, BootCache, SetupKind, TrialConfig};
+use nlh_campaign::{
+    build_system, run_trial, run_trial_on, run_trial_on_unbatched, run_trial_warm, BenchKind,
+    BootCache, SetupKind, TrialConfig,
+};
 use nlh_core::{Enhancements, Microreboot, Microreset, RecoveryMechanism};
 use nlh_inject::FaultType;
 use proptest::prelude::*;
@@ -80,5 +90,56 @@ proptest! {
         let first = run_trial_warm(&cfg, &mech, &cache);
         let second = run_trial_warm(&cfg, &mech, &cache);
         prop_assert_eq!(first, second);
+    }
+
+    /// Stepper fast path == reference stepper, bit for bit. The fast side
+    /// runs batched stepping with pooled program buffers; the reference
+    /// side steps one checked micro-op at a time with pooling off (fresh
+    /// allocation per hypervisor entry). `TrialResult::steps` participates
+    /// in the equality, so the two must execute identical step sequences —
+    /// not merely reach the same classification.
+    #[test]
+    fn batched_pooled_equals_reference_stepper(
+        seed in 0u64..100_000,
+        setup in setups(),
+        fault in faults(),
+    ) {
+        let mech = Microreset::nilihype();
+        let cfg = TrialConfig::new(setup, fault, seed);
+        let (fast_hv, layout) = build_system(cfg.machine.clone(), cfg.setup, cfg.seed);
+        let (mut ref_hv, _) = build_system(cfg.machine.clone(), cfg.setup, cfg.seed);
+        ref_hv.pooling = false;
+        let fast = run_trial_on(fast_hv, &layout, &cfg, &mech);
+        let reference = run_trial_on_unbatched(ref_hv, &layout, &cfg, &mech);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Same comparison at the hypervisor level with tracing wide open:
+    /// batched + pooled stepping must leave identical traces, per-CPU
+    /// clocks and step counts as unbatched + fresh-allocation stepping.
+    /// (Trial loops never see intermediate states, so this closes the gap:
+    /// the fast path may not even *transiently* diverge in anything the
+    /// trace ring can observe.)
+    #[test]
+    fn batched_stepping_traces_identically(seed in 0u64..100_000, pick in 0u8..3) {
+        use nlh_sim::trace::{TraceLevel, TraceRing};
+        let setup = match pick {
+            0 => SetupKind::OneAppVm(BenchKind::UnixBench),
+            1 => SetupKind::ThreeAppVm,
+            _ => SetupKind::TwoAppVmSharedCpu,
+        };
+        let cfg = TrialConfig::new(setup, FaultType::Failstop, seed);
+        let (mut fast, _) = build_system(cfg.machine.clone(), cfg.setup, cfg.seed);
+        let (mut slow, _) = build_system(cfg.machine.clone(), cfg.setup, cfg.seed);
+        fast.trace = TraceRing::new(4096, TraceLevel::Debug);
+        slow.trace = TraceRing::new(4096, TraceLevel::Debug);
+        slow.pooling = false;
+        let deadline = fast.now() + nlh_sim::SimDuration::from_millis(40);
+        fast.run_until(deadline);
+        slow.run_until_unbatched(deadline);
+        prop_assert_eq!(fast.steps_executed(), slow.steps_executed());
+        prop_assert_eq!(fast.now(), slow.now());
+        prop_assert_eq!(fast.now_max(), slow.now_max());
+        prop_assert_eq!(fast.trace.dump(), slow.trace.dump());
     }
 }

@@ -133,7 +133,11 @@ pub enum UndoEntry {
 ///
 /// Executing a micro-op advances the hypervisor by one atomic state change;
 /// faults are injected at micro-op boundaries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `MicroOp` is deliberately `Copy` (every payload is a small plain id or
+/// enum): the stepper fetches the current op by value on every simulation
+/// step, and a `Copy` fetch keeps that fast path free of clones and drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MicroOp {
     /// Generic computation with no architectural side effect.
     Compute,
@@ -256,13 +260,30 @@ impl EntryCause {
     }
 }
 
+/// The storage behind a program's micro-ops.
+///
+/// Handler builders run on every hypervisor entry — millions of times per
+/// fault-injection campaign — so the hot path never allocates for them:
+/// fixed-shape handlers point at a precompiled static template, and
+/// variable-shape handlers borrow a buffer from the per-CPU
+/// [`ProgramPool`] that is returned when the program's last op retires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProgramBody {
+    /// A precompiled template shared by every instance of a fixed-shape
+    /// handler (e.g. the forwarded-syscall path).
+    Static(&'static [MicroOp]),
+    /// A buffer filled by a handler builder, usually recycled through a
+    /// [`ProgramPool`].
+    Pooled(Vec<MicroOp>),
+}
+
 /// A compiled hypervisor execution: the micro-ops plus their cause.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// Why the hypervisor is executing.
     pub cause: EntryCause,
     /// The micro-ops, executed in order.
-    pub ops: Vec<MicroOp>,
+    body: ProgramBody,
     /// Whether this handler's side effects are covered by undo logging
     /// (enhanced handlers only; `GrantMap` models the paper's un-enhanced
     /// infrequent handlers and is never logged).
@@ -274,7 +295,7 @@ impl Program {
     pub fn new(cause: EntryCause, ops: Vec<MicroOp>) -> Self {
         Program {
             cause,
-            ops,
+            body: ProgramBody::Pooled(ops),
             logged: false,
         }
     }
@@ -283,19 +304,104 @@ impl Program {
     pub fn new_logged(cause: EntryCause, ops: Vec<MicroOp>) -> Self {
         Program {
             cause,
-            ops,
+            body: ProgramBody::Pooled(ops),
             logged: true,
+        }
+    }
+
+    /// Creates an unlogged program over a precompiled static template.
+    ///
+    /// No allocation happens at build time and none is returned to a pool
+    /// at retirement; use this for handlers whose op sequence is the same
+    /// on every entry.
+    pub fn from_static(cause: EntryCause, ops: &'static [MicroOp]) -> Self {
+        Program {
+            cause,
+            body: ProgramBody::Static(ops),
+            logged: false,
+        }
+    }
+
+    /// The micro-ops, in execution order.
+    pub fn ops(&self) -> &[MicroOp] {
+        match &self.body {
+            ProgramBody::Static(s) => s,
+            ProgramBody::Pooled(v) => v,
+        }
+    }
+
+    /// Consumes the program, recovering its op buffer for pooling.
+    /// Returns `None` for programs over static templates (there is
+    /// nothing to recycle).
+    pub fn into_buffer(self) -> Option<Vec<MicroOp>> {
+        match self.body {
+            ProgramBody::Static(_) => None,
+            ProgramBody::Pooled(v) => Some(v),
         }
     }
 
     /// Number of micro-ops.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.ops().len()
     }
 
     /// Whether the program has no ops.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.ops().is_empty()
+    }
+}
+
+/// A free list of micro-op buffers, one pool per physical CPU.
+///
+/// Before this pool existed every hypervisor entry (hypercall, timer or
+/// device interrupt, scheduler wakeup) built its handler [`Program`] into
+/// a fresh `Vec<MicroOp>` — one heap allocation plus one free per entry,
+/// millions of times per campaign. The stepper now takes a buffer here
+/// when it compiles a handler and gives it back when the program's last
+/// op retires, so steady-state stepping performs no heap traffic at all
+/// (asserted by the counting-allocator test in `nlh-hv`).
+///
+/// The pool is host-side memory reuse only: simulated behaviour is
+/// bit-identical with pooling on or off (differential-tested via
+/// [`Hypervisor::pooling`](crate::Hypervisor)).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramPool {
+    free: Vec<Vec<MicroOp>>,
+}
+
+/// Buffers retained per CPU. Program stacks nest at most a few frames
+/// deep (an interrupt over a hypercall), so a small cap bounds idle
+/// memory without ever forcing a steady-state allocation.
+const POOL_CAP: usize = 8;
+
+impl ProgramPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ProgramPool::default()
+    }
+
+    /// Takes an empty buffer out of the pool (allocating only when the
+    /// pool is dry, i.e. during the first few entries after boot).
+    pub fn take(&mut self) -> Vec<MicroOp> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a retired program's buffer to the pool.
+    pub fn give(&mut self, mut buf: Vec<MicroOp>) {
+        if self.free.len() < POOL_CAP {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
     }
 }
 

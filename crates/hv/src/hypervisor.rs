@@ -18,7 +18,8 @@ use crate::config::{HvTuning, MachineConfig};
 use crate::detect::{Detection, DetectionKind};
 use crate::domain::{Domain, DomainSpec, DomainState, GuestNotice, GuestOp};
 use crate::hypercalls::{
-    EntryCause, HcRequest, MicroOp, OpSupport, PendingKind, PendingRequest, Program, UndoEntry,
+    EntryCause, HcRequest, MicroOp, OpSupport, PendingKind, PendingRequest, Program, ProgramPool,
+    UndoEntry,
 };
 use crate::interrupts::{GuestEventKind, IrqSubsystem, VEC_NET};
 use crate::locks::{AcquireOutcome, LockPlacement, LockRegistry, StaticLock};
@@ -61,6 +62,16 @@ struct Frame {
     program: Program,
     pc: usize,
 }
+
+/// The forwarded-syscall handler executes the same four micro-ops on every
+/// entry, so all syscall programs share this precompiled template (zero
+/// build cost; see [`Program::from_static`]).
+static SYSCALL_OPS: [MicroOp; 4] = [
+    MicroOp::AssertNotInIrq,
+    MicroOp::Compute,
+    MicroOp::Compute,
+    MicroOp::DeliverSyscall,
+];
 
 /// External NetBench traffic: the sender on a separate physical host that
 /// emits one UDP packet per millisecond (Section VI-A).
@@ -161,11 +172,44 @@ pub struct Hypervisor {
     pub timer_locks: Vec<LockId>,
     /// Map vCPU → owning domain.
     pub vcpu_dom: Vec<DomId>,
+    /// Host-side program-buffer recycling knob. On (the default), handler
+    /// builders reuse micro-op buffers through the per-CPU [`ProgramPool`]s;
+    /// off, every entry allocates a fresh `Vec` exactly as the stepper did
+    /// before the pools existed. Simulated behaviour is bit-identical either
+    /// way (pinned by differential tests); the knob exists so benchmarks and
+    /// tests can compare the two.
+    pub pooling: bool,
 
     cpu_now: Vec<SimTime>,
     cpu_mode: Vec<CpuMode>,
     stacks: Vec<Vec<Frame>>,
     detection: Option<Detection>,
+    steps: u64,
+    /// Per-CPU free lists of micro-op buffers (see [`ProgramPool`]).
+    pools: Vec<ProgramPool>,
+    /// Reusable scratch for `build_timer_interrupt`'s due-event inspection.
+    timer_scratch: Vec<TimerEvent>,
+    // Cached pick for `step_any`: while `next_valid` holds, `next_cpu` is
+    // the argmin of `cpu_now` provided its clock is still below
+    // `next_bound` (the second-smallest clock at the last scan, held by
+    // `next_bound_cpu`). Per-CPU clocks only move forward during stepping,
+    // so stepping the cached CPU cannot promote any other CPU past it —
+    // the only non-monotonic clock write is `resume_after`, which
+    // invalidates. Ties replicate `min_by_key`'s first-index choice: the
+    // cache stays valid at `t == next_bound` only while `next_cpu <
+    // next_bound_cpu`.
+    next_cpu: u32,
+    next_bound: SimTime,
+    next_bound_cpu: u32,
+    next_valid: bool,
+    // Set by `MicroOp::IoapicWrite` so `run_batched` recomputes its hoisted
+    // check horizon: re-routing a device vector can make an already-due
+    // packet time relevant on the newly routed CPU. Every other in-dispatch
+    // mutation moves check deadlines forward (watchdog periods, `net.next`)
+    // or parks a CPU (which only *raises* the horizon), and cross-call
+    // mutations (recovery, `resume_after`, direct subsystem pokes) are
+    // covered by the recompute on `run_batched` entry.
+    routes_dirty: bool,
 }
 
 impl Hypervisor {
@@ -258,10 +302,19 @@ impl Hypervisor {
             runq_locks,
             timer_locks,
             vcpu_dom: Vec::new(),
+            pooling: true,
             cpu_now: vec![SimTime::ZERO; n],
             cpu_mode: vec![CpuMode::Run; n],
             stacks: vec![Vec::new(); n],
             detection: None,
+            steps: 0,
+            pools: vec![ProgramPool::new(); n],
+            timer_scratch: Vec::new(),
+            next_cpu: 0,
+            next_bound: SimTime::ZERO,
+            next_bound_cpu: 0,
+            next_valid: false,
+            routes_dirty: false,
             domains: Vec::new(),
             support: OpSupport::full(),
             config,
@@ -401,6 +454,13 @@ impl Hypervisor {
                 .unwrap_or(false)
     }
 
+    /// Total simulation steps executed on this machine (guest slices,
+    /// micro-ops, idle quanta). Campaign telemetry divides this by wall
+    /// time for its steps/sec throughput counter.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps
+    }
+
     /// Number of physical CPUs.
     pub fn num_cpus(&self) -> usize {
         self.config.num_cpus
@@ -466,8 +526,7 @@ impl Hypervisor {
     pub fn raise_panic(&mut self, cpu: CpuId, reason: impl Into<String>) {
         if self.detection.is_none() {
             let d = Detection::new(self.cpu_now[cpu.index()], cpu, DetectionKind::Panic, reason);
-            self.trace
-                .record(d.at, TraceLevel::Event, format!("PANIC: {d}"));
+            nlh_sim::trace_event!(self.trace, d.at, TraceLevel::Event, "PANIC: {d}");
             self.detection = Some(d);
         }
     }
@@ -476,8 +535,7 @@ impl Hypervisor {
     pub fn raise_hang(&mut self, cpu: CpuId, reason: impl Into<String>) {
         if self.detection.is_none() {
             let d = Detection::new(self.cpu_now[cpu.index()], cpu, DetectionKind::Hang, reason);
-            self.trace
-                .record(d.at, TraceLevel::Event, format!("HANG: {d}"));
+            nlh_sim::trace_event!(self.trace, d.at, TraceLevel::Event, "HANG: {d}");
             self.detection = Some(d);
         }
     }
@@ -488,22 +546,60 @@ impl Hypervisor {
 
     /// Steps the CPU with the earliest local clock.
     pub fn step_any(&mut self) -> (CpuId, StepOutcome) {
-        let cpu = self
-            .cpu_now
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .map(|(i, _)| CpuId::from_index(i))
-            .expect("at least one CPU");
+        let cpu = self.pick_next_cpu();
         let out = self.step(cpu);
         (cpu, out)
     }
 
-    /// Runs until `deadline` or until an error is detected.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        while self.detection.is_none() && self.now() < deadline {
-            self.step_any();
+    /// The CPU `step_any` would step next (the argmin of the per-CPU
+    /// clocks, first index winning ties), served from the cache when the
+    /// cached CPU provably still holds the minimum.
+    fn pick_next_cpu(&mut self) -> CpuId {
+        if self.next_valid {
+            let c = self.next_cpu as usize;
+            let t = self.cpu_now[c];
+            if t < self.next_bound || (t == self.next_bound && self.next_cpu < self.next_bound_cpu)
+            {
+                return CpuId::from_index(c);
+            }
         }
+        self.rescan_next_cpu()
+    }
+
+    /// Full O(#CPUs) scan: finds the argmin clock and records the
+    /// second-smallest as the cache bound.
+    fn rescan_next_cpu(&mut self) -> CpuId {
+        let mut best = 0usize;
+        let mut best_t = self.cpu_now[0];
+        let mut bound = SimTime::FAR_FUTURE;
+        let mut bound_cpu = u32::MAX;
+        for (i, &t) in self.cpu_now.iter().enumerate().skip(1) {
+            if t < best_t {
+                bound = best_t;
+                bound_cpu = best as u32;
+                best = i;
+                best_t = t;
+            } else if t < bound {
+                bound = t;
+                bound_cpu = i as u32;
+            }
+        }
+        self.next_cpu = best as u32;
+        self.next_bound = bound;
+        self.next_bound_cpu = bound_cpu;
+        self.next_valid = true;
+        CpuId::from_index(best)
+    }
+
+    /// Runs until `deadline` or until an error is detected.
+    ///
+    /// This is the batched fast path: per-step entry checks (the watchdog
+    /// NMI comparison, external net-traffic generation) are hoisted out of
+    /// the inner loop for every stretch in which their deadlines provably
+    /// cannot arrive. The executed step sequence is bit-identical to
+    /// [`Hypervisor::run_until_unbatched`] (differential-tested).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_batched(deadline, None);
     }
 
     /// Runs for `dur` of simulated time or until an error is detected.
@@ -512,11 +608,114 @@ impl Hypervisor {
         self.run_until(deadline);
     }
 
+    /// Reference step loop: one fully checked [`Hypervisor::step_any`] per
+    /// iteration, exactly as `run_until` worked before batching. Kept at
+    /// runtime so differential tests can pin the batched loop against it.
+    pub fn run_until_unbatched(&mut self, deadline: SimTime) {
+        while self.detection.is_none() && self.now() < deadline {
+            self.step_any();
+        }
+    }
+
+    /// Batched run that additionally stops right after the first step that
+    /// carries the stepped CPU's clock to `marker` or beyond, returning
+    /// that step's outcome. The campaign trial loop uses this to race
+    /// batched through the pre-injection window and hand the exact
+    /// transition step to the fault injector.
+    pub fn run_until_marker(
+        &mut self,
+        deadline: SimTime,
+        marker: SimTime,
+    ) -> Option<(CpuId, StepOutcome)> {
+        self.run_batched(deadline, Some(marker))
+    }
+
+    /// The batched stepping engine behind `run_until`/`run_until_marker`.
+    ///
+    /// Each outer iteration computes a *horizon*: the earliest instant at
+    /// which any per-step entry check could have an effect — the smallest
+    /// watchdog `next_check` over non-parked CPUs, the next external net
+    /// packet time (when a net route exists), capped at `deadline`. While
+    /// the next CPU's clock is below the horizon, steps run through
+    /// [`Hypervisor::step_unchecked`], skipping the check comparisons the
+    /// reference loop would have evaluated to no-ops. Once the horizon is
+    /// reached, one fully checked [`Hypervisor::step`] runs (firing any due
+    /// checks and pushing their deadlines forward) and the horizon is
+    /// recomputed.
+    fn run_batched(
+        &mut self,
+        deadline: SimTime,
+        marker: Option<SimTime>,
+    ) -> Option<(CpuId, StepOutcome)> {
+        loop {
+            if self.detection.is_some() {
+                return None;
+            }
+            // The horizon is hoisted out of the unchecked inner loop: it
+            // only moves *down* when an I/O APIC route is rewritten
+            // mid-program (`routes_dirty`); everything else that happens in
+            // `dispatch_step` leaves it valid or raises it (stale-low is
+            // merely a wasted checked step, never a missed check).
+            let mut horizon = self.check_horizon(deadline);
+            let cpu = loop {
+                let cpu = self.pick_next_cpu();
+                let t = self.cpu_now[cpu.index()];
+                if t >= deadline {
+                    return None;
+                }
+                if t >= horizon {
+                    break cpu;
+                }
+                let out = self.step_unchecked(cpu);
+                if let Some(m) = marker {
+                    if self.cpu_now[cpu.index()] >= m {
+                        return Some((cpu, out));
+                    }
+                }
+                if self.detection.is_some() {
+                    return None;
+                }
+                if self.routes_dirty {
+                    self.routes_dirty = false;
+                    horizon = self.check_horizon(deadline);
+                }
+            };
+            // A check deadline has arrived on the next CPU: take one fully
+            // checked step so the check fires (and its deadline advances),
+            // then recompute the horizon.
+            let out = self.step(cpu);
+            if let Some(m) = marker {
+                if self.cpu_now[cpu.index()] >= m {
+                    return Some((cpu, out));
+                }
+            }
+        }
+    }
+
+    /// The earliest time at which a hoisted per-step check could matter.
+    fn check_horizon(&self, deadline: SimTime) -> SimTime {
+        let mut horizon = deadline;
+        for (i, pc) in self.percpu.iter().enumerate() {
+            // Parked CPUs are exempt from the watchdog NMI (exactly the
+            // per-step check's own mode test).
+            if self.cpu_mode[i] != CpuMode::Parked && pc.watchdog.next_check < horizon {
+                horizon = pc.watchdog.next_check;
+            }
+        }
+        if let Some(net) = &self.net {
+            if self.irqs.ioapic_route(VEC_NET).is_some() && net.next < horizon {
+                horizon = net.next;
+            }
+        }
+        horizon
+    }
+
     /// Steps one CPU once.
     pub fn step(&mut self, cpu: CpuId) -> StepOutcome {
         if self.detection.is_some() {
             return StepOutcome::Frozen;
         }
+        self.steps += 1;
         let i = cpu.index();
         let now = self.cpu_now[i];
 
@@ -537,7 +736,21 @@ impl Hypervisor {
         // External network traffic materializes on the routed CPU's clock.
         self.generate_net_traffic(cpu);
 
-        match self.cpu_mode[i] {
+        self.dispatch_step(cpu)
+    }
+
+    /// A step with the entry checks elided. Only `run_batched` calls this,
+    /// and only when the stepped CPU's clock is below [`Self::check_horizon`]
+    /// — i.e. when the watchdog comparison and the net-traffic generator
+    /// are provably no-ops — and when no detection is pending.
+    fn step_unchecked(&mut self, cpu: CpuId) -> StepOutcome {
+        self.steps += 1;
+        self.dispatch_step(cpu)
+    }
+
+    /// Mode dispatch shared by the checked and unchecked step paths.
+    fn dispatch_step(&mut self, cpu: CpuId) -> StepOutcome {
+        match self.cpu_mode[cpu.index()] {
             CpuMode::Parked | CpuMode::Wedged => {
                 self.advance(cpu, self.tuning.idle_quantum);
                 StepOutcome::Idle
@@ -679,16 +892,13 @@ impl Hypervisor {
             return StepOutcome::Idle;
         }
 
-        // Ask the workload what the guest does next.
-        let op = {
-            let dom = &mut self.domains[dom_id.index()];
-            let mut program = dom.program.take();
-            let op = program
-                .as_mut()
-                .map(|p| p.next_op(now, &mut self.rng))
-                .unwrap_or(GuestOp::Done);
-            dom.program = program;
-            op
+        // Ask the workload what the guest does next. `domains` and `rng`
+        // are disjoint fields, so the program can be polled in place — no
+        // take/put round-trip moving the program struct twice per step.
+        let rng = &mut self.rng;
+        let op = match self.domains[dom_id.index()].program.as_mut() {
+            Some(p) => p.next_op(now, rng),
+            None => GuestOp::Done,
         };
 
         match op {
@@ -765,7 +975,20 @@ impl Hypervisor {
                 }
                 out
             }
-            _ => vec![self.bind_simple(dom, req)],
+            _ => {
+                // Requests that bind no pages (SchedBlock, XenVersion,
+                // console writes, timers, event sends — the steady-state
+                // bulk) get an empty binding list instead of a one-element
+                // list holding an empty set: every consumer reads bindings
+                // through `get(..)` with an empty-slice default, and the
+                // empty list costs no allocation on the hot path.
+                let b = self.bind_simple(dom, req);
+                if b.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![b]
+                }
+            }
         }
     }
 
@@ -818,22 +1041,20 @@ impl Hypervisor {
         use MicroOp::*;
         let i = cpu.index();
         let now = self.cpu_now[i];
-        let mut ops = vec![EnterIrq, Acquire(self.timer_locks[i])];
+        let mut ops = self.take_buf(cpu);
+        ops.push(EnterIrq);
+        ops.push(Acquire(self.timer_locks[i]));
 
         // Collect due events (without popping: pops happen as micro-ops).
-        let due;
-        {
-            // Temporarily drain to inspect; cheaper: rely on peeking one at
-            // a time. We pop due events into a list and re-insert them so
-            // the micro-ops can pop them again during execution.
-            let mut popped = Vec::new();
-            while let Some(ev) = self.timers.pop_due(cpu, now) {
-                popped.push(ev);
-            }
-            for ev in &popped {
-                self.timers.insert(cpu, *ev);
-            }
-            due = popped;
+        // We pop due events into a reusable scratch list and re-insert them
+        // so the micro-ops can pop them again during execution.
+        let mut due = std::mem::take(&mut self.timer_scratch);
+        due.clear();
+        while let Some(ev) = self.timers.pop_due(cpu, now) {
+            due.push(ev);
+        }
+        for ev in &due {
+            self.timers.insert(cpu, *ev);
         }
 
         let mut sched_tick = false;
@@ -917,12 +1138,15 @@ impl Hypervisor {
         ops.push(Eoi(crate::interrupts::VEC_TIMER));
         ops.push(Compute);
         ops.push(LeaveIrq);
+        self.timer_scratch = due;
         Program::new(EntryCause::TimerInterrupt, ops)
     }
 
-    fn build_net_interrupt(&mut self, _cpu: CpuId) -> Program {
+    fn build_net_interrupt(&mut self, cpu: CpuId) -> Program {
         use MicroOp::*;
-        let mut ops = vec![EnterIrq, Compute];
+        let mut ops = self.take_buf(cpu);
+        ops.push(EnterIrq);
+        ops.push(Compute);
         let (target, backlog) = match &self.net {
             Some(net) => {
                 let delivered = self.net_delivered_count();
@@ -956,7 +1180,8 @@ impl Hypervisor {
 
     fn build_wakeup_switch(&mut self, cpu: CpuId, v: VcpuId) -> Program {
         use MicroOp::*;
-        let ops = vec![
+        let mut ops = self.take_buf(cpu);
+        ops.extend_from_slice(&[
             AssertNotInIrq,
             Acquire(self.runq_locks[cpu.index()]),
             SchedConsistencyAssert,
@@ -967,32 +1192,39 @@ impl Hypervisor {
             CsSetIsCurrent(v, true),
             Compute,
             Release(self.runq_locks[cpu.index()]),
-        ];
+        ]);
         Program::new(EntryCause::Scheduler, ops)
     }
 
     /// Builds (or rebuilds, on retry) the program for a vCPU's pending
-    /// request.
+    /// request. The pending request is moved out of the domain for the
+    /// duration of the build (no clone) and restored before returning.
     fn build_pending_program(&mut self, cpu: CpuId, vcpu: VcpuId) -> Program {
         let dom_id = self.domain_of(vcpu);
         let pending = self.domains[dom_id.index()]
             .pending
-            .clone()
+            .take()
             .expect("pending request exists");
-        match pending.kind {
+        let prog = match &pending.kind {
             PendingKind::Syscall => {
-                use MicroOp::*;
                 // Delivery is the final op: in the real hypervisor the
                 // exit path after the result is committed is not a window
-                // in which abandonment loses the request.
-                Program::new(
-                    EntryCause::Syscall(vcpu),
-                    vec![AssertNotInIrq, Compute, Compute, DeliverSyscall],
-                )
+                // in which abandonment loses the request. The op sequence
+                // is identical on every entry, so it is a static template.
+                Program::from_static(EntryCause::Syscall(vcpu), &SYSCALL_OPS)
             }
-            PendingKind::Hypercall(ref req) => {
-                let mut ops = vec![MicroOp::AssertNotInIrq, MicroOp::Compute];
-                let logged = self.emit_request_ops(cpu, vcpu, req, &pending, &mut ops);
+            PendingKind::Hypercall(req) => {
+                let mut ops = self.take_buf(cpu);
+                ops.push(MicroOp::AssertNotInIrq);
+                ops.push(MicroOp::Compute);
+                let logged = self.emit_request_ops(
+                    cpu,
+                    vcpu,
+                    req,
+                    &pending.bindings,
+                    pending.completed_subcalls,
+                    &mut ops,
+                );
                 // The exit path runs the SCHEDULE softirq before returning
                 // to the guest: deschedule, account, re-pick. This is a
                 // torn-metadata window on every hypercall exit (SchedBlock
@@ -1016,28 +1248,27 @@ impl Hypervisor {
                 prog.logged = logged;
                 prog
             }
-        }
+        };
+        self.domains[dom_id.index()].pending = Some(pending);
+        prog
     }
 
-    /// Emits the body ops for `req`; returns whether side effects are
-    /// undo-logged.
+    /// Emits the body ops for `req` against its bound pages (`bindings`,
+    /// indexed per sub-call for multicalls; `completed_subcalls` sub-calls
+    /// are skipped on retry). Returns whether side effects are undo-logged.
     fn emit_request_ops(
         &mut self,
         cpu: CpuId,
         vcpu: VcpuId,
         req: &HcRequest,
-        pending: &PendingRequest,
+        bindings: &[Vec<PageNum>],
+        completed_subcalls: usize,
         ops: &mut Vec<MicroOp>,
     ) -> bool {
         use MicroOp::*;
         let dom_id = self.domain_of(vcpu);
-        let binding = |idx: usize| -> &[PageNum] {
-            pending
-                .bindings
-                .get(idx)
-                .map(|v| v.as_slice())
-                .unwrap_or(&[])
-        };
+        let binding =
+            |idx: usize| -> &[PageNum] { bindings.get(idx).map(|v| v.as_slice()).unwrap_or(&[]) };
         match req {
             HcRequest::PinPages(_) => {
                 let pages = binding(0);
@@ -1116,17 +1347,17 @@ impl Hypervisor {
                 self.support.undo_logging
             }
             HcRequest::MemoryDecrease(_) => {
-                let pages: Vec<PageNum> = binding(0).to_vec();
+                let pages = binding(0);
                 ops.push(Acquire(StaticLock::PageAlloc.id()));
                 if self.support.reorder_nonidem {
-                    for _ in &pages {
+                    for _ in pages {
                         ops.push(Compute);
                     }
-                    for &p in &pages {
+                    for &p in pages {
                         ops.push(FreePage(dom_id, p));
                     }
                 } else {
-                    for &p in &pages {
+                    for &p in pages {
                         ops.push(FreePage(dom_id, p));
                         ops.push(Compute);
                     }
@@ -1245,19 +1476,18 @@ impl Hypervisor {
                 false
             }
             HcRequest::Multicall(calls) => {
-                let skip = pending.completed_subcalls;
                 let mut any_logged = false;
                 for (idx, c) in calls.iter().enumerate() {
-                    if idx < skip {
+                    if idx < completed_subcalls {
                         continue;
                     }
-                    let sub_binding = PendingRequest {
-                        kind: PendingKind::Hypercall(c.clone()),
-                        bindings: vec![pending.bindings.get(idx).cloned().unwrap_or_default()],
-                        completed_subcalls: 0,
-                        will_retry: false,
+                    // The sub-call sees its own binding set at index 0,
+                    // borrowed straight from the parent (no clones).
+                    let sub_bindings: &[Vec<PageNum>] = match bindings.get(idx) {
+                        Some(b) => std::slice::from_ref(b),
+                        None => &[],
                     };
-                    any_logged |= self.emit_request_ops(cpu, vcpu, c, &sub_binding, ops);
+                    any_logged |= self.emit_request_ops(cpu, vcpu, c, sub_bindings, 0, ops);
                     if self.support.batched_completion_log {
                         ops.push(LogCompletion(idx));
                     }
@@ -1302,14 +1532,11 @@ impl Hypervisor {
                 return StepOutcome::Idle;
             }
         };
-        if frame.pc >= frame.program.ops.len() {
-            self.stacks[i].pop();
-            if self.stacks[i].is_empty() {
-                self.cpu_mode[i] = CpuMode::Run;
-            }
+        if frame.pc >= frame.program.len() {
+            self.retire_frame(i);
             return StepOutcome::HvOp;
         }
-        let op = frame.program.ops[frame.pc].clone();
+        let op = frame.program.ops()[frame.pc];
         let cause = frame.program.cause;
         let logged = frame.program.logged;
 
@@ -1480,6 +1707,7 @@ impl Hypervisor {
             MicroOp::Eoi(vec) => self.irqs.eoi(cpu, vec),
             MicroOp::IoapicWrite(vec, route) => {
                 self.irqs.ioapic_write(vec, route);
+                self.routes_dirty = true;
                 if self.support.ioapic_write_log {
                     self.ioapic_log = Some(self.irqs.ioapic_snapshot());
                     log_cycles = Cycles(self.tuning.cycles_per_log_write);
@@ -1556,15 +1784,38 @@ impl Hypervisor {
         if advance_pc {
             if let Some(f) = self.stacks[i].last_mut() {
                 f.pc += 1;
-                if f.pc >= f.program.ops.len() {
-                    self.stacks[i].pop();
-                    if self.stacks[i].is_empty() {
-                        self.cpu_mode[i] = CpuMode::Run;
-                    }
+                if f.pc >= f.program.len() {
+                    self.retire_frame(i);
                 }
             }
         }
         StepOutcome::HvOp
+    }
+
+    /// Pops the finished top frame of CPU `i`'s stack, recycling its op
+    /// buffer into the CPU's program pool, and drops back to `Run` mode
+    /// when the stack empties.
+    fn retire_frame(&mut self, i: usize) {
+        if let Some(f) = self.stacks[i].pop() {
+            if self.pooling {
+                if let Some(buf) = f.program.into_buffer() {
+                    self.pools[i].give(buf);
+                }
+            }
+        }
+        if self.stacks[i].is_empty() {
+            self.cpu_mode[i] = CpuMode::Run;
+        }
+    }
+
+    /// An empty micro-op buffer for a handler builder on `cpu`: pooled when
+    /// [`Hypervisor::pooling`] is on, freshly allocated otherwise.
+    fn take_buf(&mut self, cpu: CpuId) -> Vec<MicroOp> {
+        if self.pooling {
+            self.pools[cpu.index()].take()
+        } else {
+            Vec::new()
+        }
     }
 
     fn commit_hypercall(&mut self, cpu: CpuId, vcpu: VcpuId) {
@@ -1579,12 +1830,20 @@ impl Hypervisor {
         if let PendingKind::Hypercall(req) = &pending.kind {
             if let HcRequest::Multicall(calls) = req {
                 for (idx, sub) in calls.iter().enumerate() {
-                    let binding = pending.bindings.get(idx).cloned().unwrap_or_default();
-                    self.apply_pin_bookkeeping(dom_id, sub, &binding);
+                    let binding = pending
+                        .bindings
+                        .get(idx)
+                        .map(|v| v.as_slice())
+                        .unwrap_or(&[]);
+                    self.apply_pin_bookkeeping(dom_id, sub, binding);
                 }
             } else {
-                let binding = pending.bindings.first().cloned().unwrap_or_default();
-                self.apply_pin_bookkeeping(dom_id, req, &binding);
+                let binding = pending
+                    .bindings
+                    .first()
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
+                self.apply_pin_bookkeeping(dom_id, req, binding);
             }
             if req == &HcRequest::SchedBlock {
                 // Block only if no event snuck in meanwhile.
@@ -1667,13 +1926,17 @@ impl Hypervisor {
         let mut frames = 0;
         let mut in_hv = Vec::new();
         for i in 0..self.stacks.len() {
-            for f in &self.stacks[i] {
+            for f in std::mem::take(&mut self.stacks[i]) {
                 frames += 1;
                 if let Some(v) = f.program.cause.vcpu() {
                     in_hv.push(v);
                 }
+                if self.pooling {
+                    if let Some(buf) = f.program.into_buffer() {
+                        self.pools[i].give(buf);
+                    }
+                }
             }
-            self.stacks[i].clear();
             self.cpu_mode[i] = CpuMode::Parked;
             self.percpu[i].interrupts_disabled = true;
         }
@@ -1757,12 +2020,16 @@ impl Hypervisor {
         let i = cpu.index();
         let mut in_hv = Vec::new();
         let frames = self.stacks[i].len();
-        for f in &self.stacks[i] {
+        for f in std::mem::take(&mut self.stacks[i]) {
             if let Some(v) = f.program.cause.vcpu() {
                 in_hv.push(v);
             }
+            if self.pooling {
+                if let Some(buf) = f.program.into_buffer() {
+                    self.pools[i].give(buf);
+                }
+            }
         }
-        self.stacks[i].clear();
         for c in 0..self.num_cpus() {
             self.cpu_mode[c] = CpuMode::Parked;
             self.percpu[c].interrupts_disabled = true;
@@ -1793,10 +2060,14 @@ impl Hypervisor {
                 .reset(resume_at, self.tuning.watchdog_nmi_period);
         }
         self.detection = None;
-        self.trace.record(
+        // The clocks were just rewritten wholesale: the cached `step_any`
+        // pick is meaningless now.
+        self.next_valid = false;
+        nlh_sim::trace_event!(
+            self.trace,
             resume_at,
             TraceLevel::Event,
-            format!("resumed after recovery ({latency})"),
+            "resumed after recovery ({latency})"
         );
     }
 

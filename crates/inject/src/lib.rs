@@ -215,6 +215,24 @@ impl Injector {
         self.injected_on
     }
 
+    /// Whether the injector is still waiting for the first-level timer.
+    ///
+    /// In this phase `on_step` only compares the stepped CPU's clock to
+    /// [`Injector::fire_at`] — it has no side effects — so a driver may run
+    /// the hypervisor in a batched loop and hand over only the step on
+    /// which the clock first reaches `fire_at` (see
+    /// `Hypervisor::run_until_marker`).
+    pub fn is_waiting(&self) -> bool {
+        self.phase == Phase::Waiting
+    }
+
+    /// Whether the fault has been applied (the trigger chain is spent).
+    /// From here `on_step` is a no-op, so the remainder of a trial can run
+    /// batched without consulting the injector.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
     /// Feeds one simulation step to the trigger chain; call after every
     /// [`Hypervisor::step_any`]. Returns `true` at the step that injects.
     pub fn on_step(&mut self, hv: &mut Hypervisor, cpu: CpuId, outcome: StepOutcome) -> bool {

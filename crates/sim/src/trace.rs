@@ -65,10 +65,19 @@ impl TraceRing {
         TraceRing::new(0, TraceLevel::Event)
     }
 
+    /// Whether an event at `level` would be retained. Check this before
+    /// building an expensive message (or use the [`crate::trace_event!`]
+    /// macro, which does it for you): campaigns run with tracing disabled,
+    /// and a `format!` on the stepping hot path costs an allocation even
+    /// when the result is immediately discarded.
+    pub fn wants(&self, level: TraceLevel) -> bool {
+        self.capacity != 0 && level >= self.min_level
+    }
+
     /// Records an event if it meets the level threshold and capacity is
     /// non-zero.
     pub fn record(&mut self, at: SimTime, level: TraceLevel, message: impl Into<String>) {
-        if self.capacity == 0 || level < self.min_level {
+        if !self.wants(level) {
             return;
         }
         if self.entries.len() == self.capacity {
@@ -124,6 +133,32 @@ impl Default for TraceRing {
     fn default() -> Self {
         TraceRing::new(256, TraceLevel::Info)
     }
+}
+
+/// Records a trace event with a lazily formatted message.
+///
+/// Expands to a [`TraceRing::wants`] guard around [`TraceRing::record`], so
+/// the `format!` arguments are evaluated only when the ring would actually
+/// retain the entry. Use this instead of `record(.., format!(..))` anywhere
+/// near the stepping hot path.
+///
+/// ```
+/// use nlh_sim::trace::{TraceLevel, TraceRing};
+/// use nlh_sim::{trace_event, SimTime};
+///
+/// let mut ring = TraceRing::disabled();
+/// let detail = 42;
+/// // `format!` never runs: the ring is disabled.
+/// trace_event!(ring, SimTime::ZERO, TraceLevel::Event, "panic {detail}");
+/// assert!(ring.is_empty());
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($ring:expr, $at:expr, $level:expr, $($arg:tt)+) => {
+        if $ring.wants($level) {
+            $ring.record($at, $level, format!($($arg)+));
+        }
+    };
 }
 
 #[cfg(test)]
