@@ -1,0 +1,210 @@
+//! Divergence bisection: pinpoint the first step where two trials split.
+//!
+//! Given a recorded failure and a reference trial (typically the same
+//! config run fault-free, or the same fault under a different trigger),
+//! binary-search for the first micro-op at which their executions diverge.
+//! The oracle is the retained unbatched reference stepper
+//! ([`run_trial_with`] with `batched = false` and a step limit) plus
+//! [`Hypervisor::state_digest`](nlh_hv::Hypervisor::state_digest): run
+//! both sides to the same step count from their
+//! [`BootCache`] snapshots and compare fingerprints. Determinism makes the
+//! predicate monotone — once the executions split they never re-converge
+//! on the same fingerprint-by-step schedule — which is what makes binary
+//! search sound.
+
+use nlh_core::RecoveryMechanism;
+
+use crate::boot_cache::BootCache;
+use crate::trial::{run_trial_with, TrialConfig, TrialRunOptions};
+
+/// Finds the first divergent index with a monotone agreement predicate.
+///
+/// `agree(k)` must report whether the two executions are identical after
+/// `k` steps, with `agree(0) == true` (both start from the same kind of
+/// snapshot) and monotonicity: once false, false for all larger `k`.
+/// Returns the 0-based index of the first divergent step — the smallest
+/// `d` such that `agree(d + 1)` is false — or `None` if the executions
+/// agree through `hi` steps.
+pub fn first_divergence(hi: u64, mut agree: impl FnMut(u64) -> bool) -> Option<u64> {
+    if hi == 0 || agree(hi) {
+        return None;
+    }
+    // Invariant: agree(lo), !agree(hi).
+    let mut lo = 0u64;
+    let mut hi = hi;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if agree(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi - 1)
+}
+
+/// One side of a divergence comparison.
+#[derive(Debug, Clone)]
+pub struct DivergenceSide {
+    /// The trial config this side ran.
+    pub config: TrialConfig,
+    /// Steps the full trial body executed.
+    pub steps: u64,
+    /// Machine fingerprint at the end of the full run.
+    pub final_digest: u64,
+}
+
+/// The outcome of [`bisect_trials`].
+#[derive(Debug, Clone)]
+pub struct BisectReport {
+    /// 0-based index of the first step after which the two machines
+    /// fingerprint differently.
+    pub divergent_step: u64,
+    /// Number of agreement probes the search ran (each probe re-executes
+    /// both prefixes).
+    pub probes: u32,
+    /// The first (e.g. recorded-failure) side.
+    pub a: DivergenceSide,
+    /// The second (reference) side.
+    pub b: DivergenceSide,
+}
+
+fn prefix_digest(
+    config: &TrialConfig,
+    opts: &TrialRunOptions,
+    mechanism: &dyn RecoveryMechanism,
+    cache: &BootCache,
+    limit: Option<u64>,
+) -> (u64, u64) {
+    let (hv, layout) = cache.checkout(&config.machine, config.setup, config.seed);
+    let run_opts = TrialRunOptions {
+        batched: false,
+        step_limit: limit,
+        ..opts.clone()
+    };
+    let (result, _, hv) = run_trial_with(hv, &layout, config, mechanism, run_opts);
+    (hv.state_digest(), result.steps)
+}
+
+/// Bisects to the first divergent step between two trials.
+///
+/// Each side is a trial config plus run options (steered trigger range,
+/// or `inject: false` for a fault-free reference). `batched` and
+/// `step_limit` in the passed options are ignored: probes always run the
+/// unbatched reference stepper with their own limits. Returns `None` when
+/// the two executions never diverge (identical step counts and final
+/// fingerprints — e.g. a non-manifested injection against its fault-free
+/// reference).
+pub fn bisect_trials(
+    a: (&TrialConfig, &TrialRunOptions),
+    b: (&TrialConfig, &TrialRunOptions),
+    mechanism: &dyn RecoveryMechanism,
+    cache: &BootCache,
+) -> Option<BisectReport> {
+    let (a_digest, a_steps) = prefix_digest(a.0, a.1, mechanism, cache, None);
+    let (b_digest, b_steps) = prefix_digest(b.0, b.1, mechanism, cache, None);
+    let side_a = DivergenceSide {
+        config: a.0.clone(),
+        steps: a_steps,
+        final_digest: a_digest,
+    };
+    let side_b = DivergenceSide {
+        config: b.0.clone(),
+        steps: b_steps,
+        final_digest: b_digest,
+    };
+
+    let hi = a_steps.min(b_steps);
+    let mut probes = 0u32;
+    let divergent = first_divergence(hi, |k| {
+        probes += 1;
+        let (da, _) = prefix_digest(a.0, a.1, mechanism, cache, Some(k));
+        let (db, _) = prefix_digest(b.0, b.1, mechanism, cache, Some(k));
+        da == db
+    });
+
+    match divergent {
+        Some(step) => Some(BisectReport {
+            divergent_step: step,
+            probes,
+            a: side_a,
+            b: side_b,
+        }),
+        None => {
+            if a_steps == b_steps && a_digest == b_digest {
+                None
+            } else {
+                // Identical through the shorter run: the divergence is that
+                // one side kept going (e.g. the reference ran to the trial
+                // end while the failure froze earlier).
+                Some(BisectReport {
+                    divergent_step: hi,
+                    probes,
+                    a: side_a,
+                    b: side_b,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite's synthetic setup: a recorded micro-op sequence with
+    /// one element flipped; `agree(k)` compares prefixes.
+    fn bisect_flip(ops: &[u32], flip_at: usize) -> Option<u64> {
+        let mut flipped = ops.to_vec();
+        flipped[flip_at] ^= 1;
+        first_divergence(ops.len() as u64, |k| {
+            ops[..k as usize] == flipped[..k as usize]
+        })
+    }
+
+    #[test]
+    fn pins_exactly_the_flipped_index() {
+        let ops: Vec<u32> = (0..1000).map(|i| i * 7 % 256).collect();
+        for flip in [1usize, 17, 499, 500, 731] {
+            assert_eq!(bisect_flip(&ops, flip), Some(flip as u64), "flip {flip}");
+        }
+    }
+
+    #[test]
+    fn divergence_at_step_zero() {
+        let ops: Vec<u32> = (0..64).collect();
+        assert_eq!(bisect_flip(&ops, 0), Some(0));
+    }
+
+    #[test]
+    fn divergence_at_final_step() {
+        let ops: Vec<u32> = (0..64).collect();
+        assert_eq!(bisect_flip(&ops, 63), Some(63));
+    }
+
+    #[test]
+    fn no_divergence_returns_none() {
+        let ops: Vec<u32> = (0..64).collect();
+        let same = ops.clone();
+        assert_eq!(
+            first_divergence(64, |k| ops[..k as usize] == same[..k as usize]),
+            None
+        );
+        assert_eq!(
+            first_divergence(0, |_| unreachable!("hi == 0 probes nothing")),
+            None
+        );
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let n = 1 << 20;
+        let mut probes = 0u32;
+        let r = first_divergence(n, |k| {
+            probes += 1;
+            k <= 777_777
+        });
+        assert_eq!(r, Some(777_777));
+        assert!(probes <= 22, "{probes} probes for 2^20 steps");
+    }
+}

@@ -15,20 +15,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bisect;
 mod boot_cache;
 mod campaign;
 mod classify;
+mod coverage;
 mod ladder;
 mod overhead;
+mod record;
 mod setup;
 mod trial;
 
+pub use bisect::{bisect_trials, first_divergence, BisectReport, DivergenceSide};
 pub use boot_cache::BootCache;
 pub use campaign::{run_campaign, run_campaign_with, BootMode, CampaignResult, CampaignTelemetry};
-pub use classify::{classify, TrialClass};
+pub use classify::{classify, netbench_affected, TrialClass};
+pub use coverage::{
+    run_sampled_campaign, CoverageMap, SampledCampaign, SamplingMode, DEFAULT_OPS_WINDOWS,
+};
 pub use ladder::{run_ladder, run_ladder_with, LadderRow};
 pub use overhead::{measure_hv_cycles, overhead_percent, OverheadPoint};
+pub use record::{
+    mechanism_for_name, EventRing, RecordedOutcome, TrialEvent, TrialEventKind, TrialRecord,
+    EVENT_RING_CAPACITY,
+};
 pub use setup::{build_system, reseed_system, BenchKind, SetupKind, SystemLayout};
 pub use trial::{
-    run_trial, run_trial_on, run_trial_on_unbatched, run_trial_warm, TrialConfig, TrialResult,
+    run_trial, run_trial_on, run_trial_on_unbatched, run_trial_recorded, run_trial_warm,
+    run_trial_with, TrialConfig, TrialObservations, TrialResult, TrialRunOptions, MAX_TRIGGER_OPS,
 };

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::boot_cache::BootCache;
 use crate::classify::{classify, TrialClass};
+use crate::record::{EventRing, RecordedOutcome, TrialEventKind, TrialRecord};
 use crate::setup::{build_system, SetupKind, SystemLayout};
 
 /// Second-level trigger budget: micro-ops executed in the hypervisor
@@ -17,7 +18,7 @@ use crate::setup::{build_system, SetupKind, SystemLayout};
 pub const MAX_TRIGGER_OPS: u64 = 2_000;
 
 /// Configuration of one trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrialConfig {
     /// The system configuration.
     pub setup: SetupKind,
@@ -94,6 +95,20 @@ pub fn run_trial_warm(
     run_trial_on(hv, &layout, config, mechanism)
 }
 
+/// Runs one warm-started trial and returns its event record alongside the
+/// result. The record is sufficient to replay the trial bit-identically —
+/// see [`TrialRecord::replay`].
+pub fn run_trial_recorded(
+    config: &TrialConfig,
+    mechanism: &dyn RecoveryMechanism,
+    cache: &BootCache,
+) -> (TrialResult, TrialRecord) {
+    let (hv, layout) = cache.checkout(&config.machine, config.setup, config.seed);
+    let (result, record, _) =
+        run_trial_with(hv, &layout, config, mechanism, TrialRunOptions::default());
+    (result, record)
+}
+
 /// Runs the trial body — inject, detect, recover, classify — on an
 /// already-booted system.
 ///
@@ -128,20 +143,92 @@ pub fn run_trial_on_unbatched(
 }
 
 fn run_trial_loop(
-    mut hv: Hypervisor,
+    hv: Hypervisor,
     layout: &SystemLayout,
     config: &TrialConfig,
     mechanism: &dyn RecoveryMechanism,
     batched: bool,
 ) -> TrialResult {
+    let opts = TrialRunOptions {
+        batched,
+        ..TrialRunOptions::default()
+    };
+    run_trial_with(hv, layout, config, mechanism, opts).0
+}
+
+/// Options for [`run_trial_with`] — the full-control trial entry point
+/// behind the convenience wrappers.
+#[derive(Debug, Clone)]
+pub struct TrialRunOptions {
+    /// Drive the hypervisor through the batched fast path (`true`, the
+    /// default) or the one-step-at-a-time reference loop.
+    pub batched: bool,
+    /// Draw the second-level trigger's micro-op budget from this range
+    /// instead of the full `[0, MAX_TRIGGER_OPS)`. The coverage-guided
+    /// campaign steers with this; replay restores it.
+    pub trigger_ops: Option<(u64, u64)>,
+    /// When `false`, run the trial without ever arming the injector: a
+    /// fault-free reference execution whose step sequence is identical to
+    /// an injected run's up to the injection step (the bisection oracle's
+    /// baseline).
+    pub inject: bool,
+    /// Stop the trial body after this many steps (divergence bisection
+    /// probes a prefix and fingerprints the machine). Requires
+    /// `batched == false`: the batched path cannot stop mid-stretch.
+    pub step_limit: Option<u64>,
+}
+
+impl Default for TrialRunOptions {
+    fn default() -> Self {
+        TrialRunOptions {
+            batched: true,
+            trigger_ops: None,
+            inject: true,
+            step_limit: None,
+        }
+    }
+}
+
+/// Runs one trial body with full control over stepping, trigger steering,
+/// injection and step limits, returning the result, the trial's event
+/// record and the final machine state.
+///
+/// All other trial entry points are wrappers over this. With default
+/// options the executed step sequence is bit-identical to what the
+/// pre-record trial loop executed: recording only observes rare events
+/// (trigger fire, injection, detection, recovery transitions), never the
+/// per-step hot path.
+pub fn run_trial_with(
+    mut hv: Hypervisor,
+    layout: &SystemLayout,
+    config: &TrialConfig,
+    mechanism: &dyn RecoveryMechanism,
+    opts: TrialRunOptions,
+) -> (TrialResult, TrialRecord, Hypervisor) {
+    assert!(
+        opts.step_limit.is_none() || !opts.batched,
+        "step_limit requires the unbatched reference loop"
+    );
     hv.support = mechanism.op_support();
 
-    let mut injector = Injector::new(
+    let trigger_ops = opts.trigger_ops.unwrap_or((0, MAX_TRIGGER_OPS));
+    let mut injector = Injector::with_ops_range(
         config.fault,
         config.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xF00D,
         config.setup.trigger_window(),
-        MAX_TRIGGER_OPS,
+        trigger_ops,
     );
+
+    let mut record = TrialRecord {
+        config: config.clone(),
+        trigger_ops,
+        mechanism: mechanism.name().to_string(),
+        fire_at: injector.fire_at(),
+        ops_budget: injector.ops_budget(),
+        injection: None,
+        events: EventRing::new(),
+        outcome: None,
+    };
 
     let trial_end = nlh_sim::SimTime::ZERO + config.setup.trial_duration();
     let deadline = trial_end.saturating_since(nlh_sim::SimTime::ZERO);
@@ -153,13 +240,48 @@ fn run_trial_loop(
     let mut recovered = false;
 
     while hv.now() < trial_end {
+        if let Some(limit) = opts.step_limit {
+            if hv.steps_executed() - steps_before >= limit {
+                break;
+            }
+        }
         if hv.detection().is_some() {
             if !recovered {
                 obs.detected = true;
                 recovered = true;
+                if let Some(d) = hv.detection() {
+                    record.events.push(
+                        d.at,
+                        TrialEventKind::DetectorFired,
+                        format!("{:?} cpu{} {}", d.kind, d.cpu.index(), d.reason),
+                    );
+                }
+                let started = hv.now_max();
+                record
+                    .events
+                    .push(started, TrialEventKind::RecoveryStarted, mechanism.name());
                 match mechanism.recover(&mut hv) {
-                    Ok(r) => recovery = Some(r),
+                    Ok(r) => {
+                        for step in &r.steps {
+                            record.events.push(
+                                started,
+                                TrialEventKind::RecoveryPhase,
+                                format!("{} {:?}", step.name, step.duration),
+                            );
+                        }
+                        record.events.push(
+                            hv.now_max(),
+                            TrialEventKind::RecoveryDone,
+                            format!("total {:?}", r.total),
+                        );
+                        recovery = Some(r);
+                    }
                     Err(e) => {
+                        record.events.push(
+                            hv.now_max(),
+                            TrialEventKind::RecoveryAborted,
+                            e.to_string(),
+                        );
                         obs.recovery_error = Some(e.to_string());
                         break;
                     }
@@ -167,48 +289,82 @@ fn run_trial_loop(
             } else {
                 obs.second_detection = true;
                 obs.second_detection_reason = hv.detection().map(|d| d.reason.clone());
+                if let Some(d) = hv.detection() {
+                    record.events.push(
+                        d.at,
+                        TrialEventKind::SecondDetection,
+                        format!("{:?} cpu{} {}", d.kind, d.cpu.index(), d.reason),
+                    );
+                }
                 break;
+            }
+        } else if !opts.inject {
+            // Fault-free reference run: no injector to consult.
+            if opts.batched {
+                hv.run_until(trial_end);
+            } else {
+                hv.step_any();
             }
         } else {
             // Pick the stepping strategy for this phase of the injector.
             // `on_step` is a pure no-op while Waiting (below `fire_at`) and
             // after Done, so those stretches run batched; only the
             // micro-op-counting phase in between needs a call per step.
-            let stepped = if batched && injector.is_done() {
+            let stepped = if opts.batched && injector.is_done() {
                 hv.run_until(trial_end);
                 None
-            } else if batched && injector.is_waiting() {
+            } else if opts.batched && injector.is_waiting() {
                 hv.run_until_marker(trial_end, injector.fire_at())
             } else {
                 Some(hv.step_any())
             };
             if let Some((cpu, out)) = stepped {
-                injector.on_step(&mut hv, cpu, out);
+                let was_waiting = injector.is_waiting();
+                let injected = injector.on_step(&mut hv, cpu, out);
+                if was_waiting && !injector.is_waiting() {
+                    record.events.push(
+                        hv.cpu_now(cpu),
+                        TrialEventKind::TriggerFired,
+                        format!("ops_budget={}", injector.ops_budget()),
+                    );
+                }
+                if injected {
+                    record.injection = injector.injection_point().copied();
+                    if let Some(p) = &record.injection {
+                        record.events.push(
+                            p.at,
+                            TrialEventKind::Injected,
+                            format!(
+                                "cpu={} handler={} op={}/{} outcome={:?}",
+                                p.cpu.index(),
+                                p.handler,
+                                p.op_index,
+                                p.program_len,
+                                injector.outcome()
+                            ),
+                        );
+                    }
+                }
                 // Short-circuit: a non-manifested or SDC fault can no
                 // longer trigger detection in this model; the
                 // classification is already determined, so skip simulating
                 // the rest of the run.
                 if hv.detection().is_none() {
-                    match injector.outcome() {
-                        Some(InjectionOutcome::NonManifested) => {
-                            return TrialResult {
-                                injection: injector.outcome(),
-                                class: TrialClass::NonManifested,
-                                observations: obs,
-                                recovery: None,
-                                steps: hv.steps_executed() - steps_before,
-                            };
-                        }
-                        Some(InjectionOutcome::Sdc) => {
-                            return TrialResult {
-                                injection: injector.outcome(),
-                                class: TrialClass::Sdc,
-                                observations: obs,
-                                recovery: None,
-                                steps: hv.steps_executed() - steps_before,
-                            };
-                        }
-                        _ => {}
+                    let class = match injector.outcome() {
+                        Some(InjectionOutcome::NonManifested) => Some(TrialClass::NonManifested),
+                        Some(InjectionOutcome::Sdc) => Some(TrialClass::Sdc),
+                        _ => None,
+                    };
+                    if let Some(class) = class {
+                        let result = TrialResult {
+                            injection: injector.outcome(),
+                            class: class.clone(),
+                            observations: obs,
+                            recovery: None,
+                            steps: hv.steps_executed() - steps_before,
+                        };
+                        finish_record(&mut record, &result, hv.now_max());
+                        return (result, record, hv);
                     }
                 }
             }
@@ -217,13 +373,32 @@ fn run_trial_loop(
 
     let now = hv.now_max();
     let class = classify(&hv, layout, &obs, now, deadline);
-    TrialResult {
+    let result = TrialResult {
         injection: injector.outcome(),
         observations: obs,
         recovery,
         class,
         steps: hv.steps_executed() - steps_before,
+    };
+    // A step-limited probe stops mid-trial; its classification is not the
+    // trial's outcome, so leave the record's outcome empty.
+    if opts.step_limit.is_none() {
+        finish_record(&mut record, &result, now);
     }
+    (result, record, hv)
+}
+
+fn finish_record(record: &mut TrialRecord, result: &TrialResult, now: nlh_sim::SimTime) {
+    record.events.push(
+        now,
+        TrialEventKind::Classified,
+        format!("{:?}", result.class),
+    );
+    record.outcome = Some(RecordedOutcome {
+        class: result.class.clone(),
+        injection: result.injection,
+        steps: result.steps,
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,254 @@
+//! Table-driven coverage of [`classify`]: every manifestation class ×
+//! recovery-outcome pair, for every setup family.
+//!
+//! Each case starts from a real recovered machine — a full fail-stop trial
+//! run to completion under NiLiHype at a seed pinned to classify as
+//! `RecoverySuccess { no_vm_failures: true }` — then perturbs exactly one
+//! observation or machine fact and asserts the resulting class. Building
+//! the fixture from a real trial (rather than a synthetic `Hypervisor`)
+//! keeps the table honest: every row is one mutation away from a state the
+//! simulator actually produces.
+
+use nlh_campaign::{
+    classify, run_trial_with, BenchKind, BootCache, SetupKind, SystemLayout, TrialClass,
+    TrialConfig, TrialObservations, TrialRunOptions,
+};
+use nlh_core::Microreset;
+use nlh_hv::domain::DomainState;
+use nlh_hv::hypercalls::{PendingKind, PendingRequest};
+use nlh_hv::Hypervisor;
+use nlh_inject::FaultType;
+use nlh_sim::{SimDuration, SimTime};
+
+/// A recovered machine plus the times `classify` was called with at the
+/// end of its trial.
+struct Fixture {
+    hv: Hypervisor,
+    layout: SystemLayout,
+    now: SimTime,
+    deadline: SimTime,
+}
+
+/// Runs one full detected-and-recovered trial and captures its final state.
+/// Seed 1 classifies as `RecoverySuccess { no_vm_failures: true }` in every
+/// setup (asserted below, so a behaviour change shows up as a test failure
+/// here rather than as nonsense rows).
+fn recovered_fixture(setup: SetupKind) -> Fixture {
+    let cache = BootCache::new();
+    let mech = Microreset::nilihype();
+    let cfg = TrialConfig::new(setup, FaultType::Failstop, 1);
+    let (hv, layout) = cache.checkout(&cfg.machine, cfg.setup, cfg.seed);
+    let (result, _, hv) = run_trial_with(hv, &layout, &cfg, &mech, TrialRunOptions::default());
+    assert_eq!(
+        result.class,
+        TrialClass::RecoverySuccess {
+            no_vm_failures: true
+        },
+        "fixture seed no longer recovers cleanly for {setup:?}; pick a new pinned seed"
+    );
+    let trial_end = SimTime::ZERO + setup.trial_duration();
+    let deadline = SimTime::ZERO
+        + trial_end
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(SimDuration::from_millis(500));
+    Fixture {
+        now: hv.now_max(),
+        hv,
+        layout,
+        deadline,
+    }
+}
+
+/// Observations for a trial whose detector fired and whose recovery ran to
+/// completion without any post-recovery detection.
+fn detected_obs() -> TrialObservations {
+    TrialObservations {
+        detected: true,
+        ..TrialObservations::default()
+    }
+}
+
+fn crash_initial_app(fix: &mut Fixture, which: usize) {
+    let (dom, _) = fix.layout.initial_apps[which];
+    fix.hv.domains[dom.index()].state = DomainState::Crashed("oracle mismatch".into());
+}
+
+/// One row of the table: a mutation applied to a freshly recovered machine,
+/// and the class it must produce.
+struct Row {
+    name: &'static str,
+    mutate: fn(&mut Fixture, &mut TrialObservations),
+    expect: fn(&TrialClass) -> bool,
+}
+
+fn run_table(setup: SetupKind, rows: &[Row]) {
+    for row in rows {
+        let mut fix = recovered_fixture(setup);
+        let mut obs = detected_obs();
+        (row.mutate)(&mut fix, &mut obs);
+        let class = classify(&fix.hv, &fix.layout, &obs, fix.now, fix.deadline);
+        assert!(
+            (row.expect)(&class),
+            "{setup:?} / {}: got {class:?}",
+            row.name
+        );
+    }
+}
+
+/// Rows valid for every setup family: the manifestation classes and the
+/// setup-independent recovery failures, in the same precedence order
+/// `classify` checks them.
+fn common_rows() -> Vec<Row> {
+    vec![
+        Row {
+            name: "not detected, all benchmarks healthy -> NonManifested",
+            mutate: |_, obs| obs.detected = false,
+            expect: |c| *c == TrialClass::NonManifested,
+        },
+        Row {
+            name: "not detected, a benchmark failed -> Sdc",
+            mutate: |fix, obs| {
+                obs.detected = false;
+                crash_initial_app(fix, 0);
+            },
+            expect: |c| *c == TrialClass::Sdc,
+        },
+        Row {
+            name: "recovery aborted -> RecoveryFailure(recovery aborted)",
+            mutate: |_, obs| obs.recovery_error = Some("CPU1 failed to reach rendezvous".into()),
+            expect: |c| matches!(c, TrialClass::RecoveryFailure(r) if r.starts_with("recovery aborted:")),
+        },
+        Row {
+            name: "abort outranks second detection",
+            mutate: |_, obs| {
+                obs.recovery_error = Some("CPU1 failed to reach rendezvous".into());
+                obs.second_detection = true;
+                obs.second_detection_reason = Some("panic".into());
+            },
+            expect: |c| matches!(c, TrialClass::RecoveryFailure(r) if r.starts_with("recovery aborted:")),
+        },
+        Row {
+            name: "second detection -> RecoveryFailure(post-recovery failure)",
+            mutate: |_, obs| {
+                obs.second_detection = true;
+                obs.second_detection_reason = Some("BUG: bad page state".into());
+            },
+            expect: |c| {
+                *c == TrialClass::RecoveryFailure(
+                    "post-recovery failure: BUG: bad page state".into(),
+                )
+            },
+        },
+        Row {
+            name: "second detection with no reason text",
+            mutate: |_, obs| obs.second_detection = true,
+            expect: |c| *c == TrialClass::RecoveryFailure("post-recovery failure: unknown".into()),
+        },
+        Row {
+            name: "time sync stopped -> RecoveryFailure",
+            mutate: |fix, _| fix.hv.last_time_sync = SimTime::ZERO,
+            expect: |c| {
+                *c == TrialClass::RecoveryFailure("platform time synchronization stopped".into())
+            },
+        },
+        Row {
+            name: "PrivVM crashed -> RecoveryFailure(PrivVM failed)",
+            mutate: |fix, _| {
+                fix.hv.domains[0].state = DomainState::Crashed("triple fault".into());
+            },
+            expect: |c| *c == TrialClass::RecoveryFailure("PrivVM failed".into()),
+        },
+        Row {
+            name: "PrivVM request stuck without retry -> RecoveryFailure(PrivVM failed)",
+            mutate: |fix, _| {
+                fix.hv.domains[0].pending = Some(PendingRequest {
+                    kind: PendingKind::Syscall,
+                    bindings: Vec::new(),
+                    completed_subcalls: 0,
+                    will_retry: false,
+                });
+            },
+            expect: |c| *c == TrialClass::RecoveryFailure("PrivVM failed".into()),
+        },
+        Row {
+            name: "clean recovery -> RecoverySuccess with no VM failures",
+            mutate: |_, _| {},
+            expect: |c| {
+                *c == TrialClass::RecoverySuccess {
+                    no_vm_failures: true,
+                }
+            },
+        },
+    ]
+}
+
+#[test]
+fn one_appvm_covers_every_class_pair() {
+    let mut rows = common_rows();
+    rows.push(Row {
+        name: "the AppVM affected -> RecoveryFailure",
+        mutate: |fix, _| crash_initial_app(fix, 0),
+        expect: |c| *c == TrialClass::RecoveryFailure("the AppVM was affected".into()),
+    });
+    run_table(SetupKind::OneAppVm(BenchKind::UnixBench), &rows);
+}
+
+#[test]
+fn shared_cpu_covers_every_class_pair() {
+    let mut rows = common_rows();
+    // The 2AppVM shared-CPU criterion is the 1AppVM one: *any* affected VM
+    // is a recovery failure.
+    rows.push(Row {
+        name: "one of two AppVMs affected -> RecoveryFailure",
+        mutate: |fix, _| crash_initial_app(fix, 1),
+        expect: |c| *c == TrialClass::RecoveryFailure("the AppVM was affected".into()),
+    });
+    run_table(SetupKind::TwoAppVmSharedCpu, &rows);
+}
+
+#[test]
+fn three_appvm_covers_every_class_pair() {
+    let mut rows = common_rows();
+    rows.extend([
+        Row {
+            name: "post-recovery VM creation failed -> RecoveryFailure",
+            mutate: |fix, _| fix.hv.domains[3].state = DomainState::Destroyed,
+            expect: |c| {
+                *c == TrialClass::RecoveryFailure(
+                    "post-recovery VM creation or execution failed".into(),
+                )
+            },
+        },
+        Row {
+            name: "one initial AppVM affected -> RecoverySuccess without noVMF",
+            mutate: |fix, _| crash_initial_app(fix, 0),
+            expect: |c| {
+                *c == TrialClass::RecoverySuccess {
+                    no_vm_failures: false,
+                }
+            },
+        },
+        Row {
+            name: "two initial AppVMs affected -> RecoveryFailure",
+            mutate: |fix, _| {
+                crash_initial_app(fix, 0);
+                crash_initial_app(fix, 1);
+            },
+            expect: |c| *c == TrialClass::RecoveryFailure("2 AppVMs affected".into()),
+        },
+        Row {
+            name: "new-VM check outranks affected count",
+            mutate: |fix, _| {
+                fix.hv.domains[3].state = DomainState::Destroyed;
+                crash_initial_app(fix, 0);
+                crash_initial_app(fix, 1);
+            },
+            expect: |c| {
+                *c == TrialClass::RecoveryFailure(
+                    "post-recovery VM creation or execution failed".into(),
+                )
+            },
+        },
+    ]);
+    run_table(SetupKind::ThreeAppVm, &rows);
+}

@@ -23,6 +23,8 @@
 //!   effects packed immediately before the commit, shrinking the window
 //!   without runtime cost.
 
+use std::fmt;
+
 use nlh_sim::{CpuId, DomId, IrqVector, LockId, PageNum, SimDuration, VcpuId};
 use serde::{Deserialize, Serialize};
 
@@ -257,6 +259,81 @@ impl EntryCause {
             self,
             EntryCause::TimerInterrupt | EntryCause::DeviceInterrupt(_)
         )
+    }
+
+    /// The handler family this entry belongs to, with per-vCPU / per-vector
+    /// detail erased. Trial records and the campaign coverage map bucket
+    /// injection points by this kind.
+    pub fn handler_kind(self) -> HandlerKind {
+        match self {
+            EntryCause::Hypercall(_) => HandlerKind::Hypercall,
+            EntryCause::Syscall(_) => HandlerKind::Syscall,
+            EntryCause::TimerInterrupt => HandlerKind::TimerInterrupt,
+            EntryCause::DeviceInterrupt(_) => HandlerKind::DeviceInterrupt,
+            EntryCause::Scheduler => HandlerKind::Scheduler,
+        }
+    }
+}
+
+/// A coarse handler family: [`EntryCause`] with its operands erased.
+///
+/// Small and dense so it can index a coverage-map axis — see
+/// [`HandlerKind::ALL`] and [`HandlerKind::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HandlerKind {
+    /// A hypercall handler.
+    Hypercall,
+    /// The forwarded-syscall path.
+    Syscall,
+    /// The local APIC timer interrupt handler.
+    TimerInterrupt,
+    /// A device interrupt handler.
+    DeviceInterrupt,
+    /// The scheduler switching a woken vCPU in.
+    Scheduler,
+}
+
+impl HandlerKind {
+    /// Every handler kind, in [`HandlerKind::index`] order.
+    pub const ALL: [HandlerKind; 5] = [
+        HandlerKind::Hypercall,
+        HandlerKind::Syscall,
+        HandlerKind::TimerInterrupt,
+        HandlerKind::DeviceInterrupt,
+        HandlerKind::Scheduler,
+    ];
+
+    /// A dense index in `0..HandlerKind::ALL.len()`.
+    pub fn index(self) -> usize {
+        match self {
+            HandlerKind::Hypercall => 0,
+            HandlerKind::Syscall => 1,
+            HandlerKind::TimerInterrupt => 2,
+            HandlerKind::DeviceInterrupt => 3,
+            HandlerKind::Scheduler => 4,
+        }
+    }
+
+    /// Short stable name, used by the trial-record text format.
+    pub fn name(self) -> &'static str {
+        match self {
+            HandlerKind::Hypercall => "Hypercall",
+            HandlerKind::Syscall => "Syscall",
+            HandlerKind::TimerInterrupt => "TimerInterrupt",
+            HandlerKind::DeviceInterrupt => "DeviceInterrupt",
+            HandlerKind::Scheduler => "Scheduler",
+        }
+    }
+
+    /// Parses a name produced by [`HandlerKind::name`].
+    pub fn from_name(s: &str) -> Option<HandlerKind> {
+        HandlerKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for HandlerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -454,6 +454,106 @@ impl Hypervisor {
                 .unwrap_or(false)
     }
 
+    /// The entry cause and program counter of the handler currently
+    /// executing on `cpu`, or `None` if the CPU has no hypervisor program
+    /// in flight. This is the "injection point" a trial record captures:
+    /// which handler the fault struck and how many of its micro-ops had
+    /// already retired.
+    pub fn cpu_program_context(&self, cpu: CpuId) -> Option<(EntryCause, usize)> {
+        self.stacks[cpu.index()]
+            .last()
+            .map(|f| (f.program.cause, f.pc))
+    }
+
+    /// Total micro-ops in the program currently executing on `cpu`.
+    pub fn cpu_program_len(&self, cpu: CpuId) -> Option<usize> {
+        self.stacks[cpu.index()].last().map(|f| f.program.len())
+    }
+
+    /// The micro-op `cpu` would execute next, or `None` if the CPU is not
+    /// mid-program (or its program is exhausted). Divergence bisection uses
+    /// this to report *what* the first divergent step was about to do.
+    pub fn cpu_current_op(&self, cpu: CpuId) -> Option<MicroOp> {
+        self.stacks[cpu.index()]
+            .last()
+            .and_then(|f| f.program.ops().get(f.pc).copied())
+    }
+
+    /// The CPU [`Hypervisor::step_any`] would step next, without mutating
+    /// the scheduler-pick cache. A pure argmin over the per-CPU clocks with
+    /// the first index winning ties — the same choice `step_any` makes.
+    pub fn peek_next_cpu(&self) -> CpuId {
+        let mut best = 0usize;
+        let mut best_t = self.cpu_now[0];
+        for (i, &t) in self.cpu_now.iter().enumerate().skip(1) {
+            if t < best_t {
+                best = i;
+                best_t = t;
+            }
+        }
+        CpuId::from_index(best)
+    }
+
+    /// A deterministic fingerprint of the machine's mutable state.
+    ///
+    /// Divergence bisection runs two trials to the same step count and
+    /// compares fingerprints; the first step at which they differ is where
+    /// the executions split. The digest covers everything the step loop
+    /// can mutate — clocks, modes, in-flight programs, RNG position,
+    /// memory, locks, scheduler, timers, interrupts, domains (including
+    /// workload state), undo log, network state, detection — and excludes
+    /// host-side bookkeeping that does not affect simulated behaviour
+    /// (the trace ring, program pools, the scheduler-pick cache), so a
+    /// batched and an unbatched run of the same trial digest identically.
+    pub fn state_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(16 * 1024);
+        let (rs, ri) = self.rng.state_parts();
+        let _ = write!(
+            s,
+            "steps={} rng={rs:x}.{ri:x} now={:?} modes={:?} det={:?} lts={:?} bsc={} reo={} ",
+            self.steps,
+            self.cpu_now,
+            self.cpu_mode,
+            self.detection,
+            self.last_time_sync,
+            self.boot_scratch_corrupted,
+            self.recovery_entry_ok,
+        );
+        for stack in &self.stacks {
+            for f in stack {
+                let _ = write!(
+                    s,
+                    "[{:?}@{}/{} lg{}]",
+                    f.program.cause,
+                    f.pc,
+                    f.program.len(),
+                    f.program.logged
+                );
+            }
+            s.push(';');
+        }
+        let _ = write!(
+            s,
+            "{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}",
+            self.pft,
+            self.heap,
+            self.locks,
+            self.percpu,
+            self.sched,
+            self.timers,
+            self.irqs,
+            self.domains,
+            self.accounting,
+            self.undo_log,
+            self.net,
+            self.net_replies,
+            self.ioapic_log,
+        );
+        let _ = write!(s, "cq={} scrub={:?}", self.create_queue.len(), self.scrub);
+        nlh_sim::digest::Fnv64::hash(s.as_bytes())
+    }
+
     /// Total simulation steps executed on this machine (guest slices,
     /// micro-ops, idle quanta). Campaign telemetry divides this by wall
     /// time for its steps/sec throughput counter.

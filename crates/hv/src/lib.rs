@@ -59,6 +59,7 @@ pub mod sched;
 pub mod timers;
 
 pub use config::{HvTuning, MachineConfig};
+pub use hypercalls::HandlerKind;
 pub use hypervisor::{CpuMode, Hypervisor, StepOutcome};
 
 /// Re-exported id types, so downstream crates rarely need `nlh-sim` directly.

@@ -28,7 +28,7 @@
 #![warn(missing_docs)]
 
 use nlh_hv::chaos::CorruptionKind;
-use nlh_hv::{CpuId, Hypervisor, StepOutcome};
+use nlh_hv::{CpuId, HandlerKind, Hypervisor, StepOutcome};
 use nlh_sim::{Pcg64, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,16 @@ pub enum FaultType {
 impl FaultType {
     /// All fault types, in the paper's presentation order.
     pub const ALL: [FaultType; 3] = [FaultType::Failstop, FaultType::Register, FaultType::Code];
+
+    /// Parses the name produced by the `Display` impl.
+    pub fn from_name(s: &str) -> Option<FaultType> {
+        match s {
+            "Failstop" => Some(FaultType::Failstop),
+            "Register" => Some(FaultType::Register),
+            "Code" => Some(FaultType::Code),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FaultType {
@@ -143,6 +153,26 @@ pub fn corruption_weights() -> Vec<(CorruptionKind, f64)> {
     ]
 }
 
+/// Where a fault actually landed: the handler context at the moment of
+/// injection. Captured by [`Injector::inject`] for the trial record, and
+/// the unit the campaign coverage map counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionPoint {
+    /// The CPU the fault struck.
+    pub cpu: CpuId,
+    /// The stepped CPU's local clock at injection.
+    pub at: SimTime,
+    /// The handler family executing when the fault struck.
+    pub handler: HandlerKind,
+    /// How many of the handler's micro-ops had already retired (the top
+    /// frame's program counter).
+    pub op_index: usize,
+    /// Total micro-ops in the struck handler's program.
+    pub program_len: usize,
+    /// The second-level trigger's micro-op budget that led here.
+    pub ops_budget: u64,
+}
+
 /// Injector phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -163,8 +193,10 @@ pub struct Injector {
     fire_at: SimTime,
     phase: Phase,
     ops_budget: u64,
+    ops_range: (u64, u64),
     outcome: Option<InjectionOutcome>,
     injected_on: Option<CpuId>,
+    point: Option<InjectionPoint>,
 }
 
 impl Injector {
@@ -178,11 +210,34 @@ impl Injector {
     ///
     /// Panics if the window is empty.
     pub fn new(fault: FaultType, seed: u64, window: (SimTime, SimTime), max_hv_ops: u64) -> Self {
+        // Delegating with [0, max) keeps the RNG draw sequence identical to
+        // the historical constructor, so existing pinned-seed campaigns do
+        // not drift.
+        Injector::with_ops_range(fault, seed, window, (0, max_hv_ops.max(1)))
+    }
+
+    /// Creates an injector whose second-level trigger draws its micro-op
+    /// budget uniformly from `[ops_range.0, ops_range.1)` instead of the
+    /// full `[0, max_hv_ops)` span.
+    ///
+    /// This is the hook the coverage-guided campaign mode uses to steer
+    /// injections into a chosen stratum of the trigger space; replay stores
+    /// the range so a steered trial reproduces bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time window or the ops range is empty.
+    pub fn with_ops_range(
+        fault: FaultType,
+        seed: u64,
+        window: (SimTime, SimTime),
+        ops_range: (u64, u64),
+    ) -> Self {
         let mut rng = Pcg64::seed_from_u64(seed);
         let (lo, hi) = window;
         assert!(lo < hi, "empty trigger window");
         let fire_at = SimTime::from_nanos(rng.gen_range_u64(lo.as_nanos(), hi.as_nanos()));
-        let ops_budget = rng.gen_range_u64(0, max_hv_ops.max(1));
+        let ops_budget = rng.gen_range_u64(ops_range.0, ops_range.1);
         Injector {
             model: ManifestModel::for_fault(fault),
             fault,
@@ -190,8 +245,10 @@ impl Injector {
             fire_at,
             phase: Phase::Waiting,
             ops_budget,
+            ops_range,
             outcome: None,
             injected_on: None,
+            point: None,
         }
     }
 
@@ -213,6 +270,22 @@ impl Injector {
     /// The CPU the fault was injected on, once injected.
     pub fn injected_on(&self) -> Option<CpuId> {
         self.injected_on
+    }
+
+    /// The second-level trigger's drawn micro-op budget.
+    pub fn ops_budget(&self) -> u64 {
+        self.ops_budget
+    }
+
+    /// The range the micro-op budget was drawn from.
+    pub fn ops_range(&self) -> (u64, u64) {
+        self.ops_range
+    }
+
+    /// Where the fault landed (handler, op index, CPU, time), once
+    /// injected.
+    pub fn injection_point(&self) -> Option<&InjectionPoint> {
+        self.point.as_ref()
     }
 
     /// Whether the injector is still waiting for the first-level timer.
@@ -272,6 +345,18 @@ impl Injector {
     fn inject(&mut self, hv: &mut Hypervisor, cpu: CpuId) {
         self.phase = Phase::Done;
         self.injected_on = Some(cpu);
+        // `on_step` guarantees `cpu_mid_program(cpu)` here, so a program
+        // context always exists.
+        if let Some((cause, pc)) = hv.cpu_program_context(cpu) {
+            self.point = Some(InjectionPoint {
+                cpu,
+                at: hv.cpu_now(cpu),
+                handler: cause.handler_kind(),
+                op_index: pc,
+                program_len: hv.cpu_program_len(cpu).unwrap_or(pc),
+                ops_budget: self.ops_budget,
+            });
+        }
         let roll = self.rng.gen_f64();
         let outcome = if roll < self.model.p_nonmanifested {
             InjectionOutcome::NonManifested

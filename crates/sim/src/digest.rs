@@ -1,0 +1,100 @@
+//! A tiny stable streaming hash for state fingerprints.
+//!
+//! Divergence bisection compares two simulated machines after running the
+//! same number of steps; it needs a cheap, deterministic fingerprint of
+//! machine state that is stable across processes and platforms (unlike
+//! `std::collections::hash_map::DefaultHasher`, whose algorithm is
+//! unspecified). FNV-1a is small enough to write down, fast enough for
+//! megabyte-sized renderings, and its exact output never leaves the
+//! process — fingerprints are compared, not persisted.
+
+/// A 64-bit FNV-1a streaming hasher.
+///
+/// # Example
+///
+/// ```
+/// use nlh_sim::digest::Fnv64;
+/// let mut a = Fnv64::new();
+/// a.write(b"hello");
+/// let mut b = Fnv64::new();
+/// b.write(b"hel");
+/// b.write(b"lo");
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Fnv64 {
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot convenience: the FNV-1a hash of `bytes`.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(Fnv64::hash(b""), 0xcbf29ce484222325);
+        assert_eq!(Fnv64::hash(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(Fnv64::hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), Fnv64::hash(b"foobar"));
+    }
+
+    #[test]
+    fn write_u64_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

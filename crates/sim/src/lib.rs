@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod digest;
 mod ids;
 mod rng;
 pub mod stats;

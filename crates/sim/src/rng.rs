@@ -145,6 +145,16 @@ impl Pcg64 {
         weights.iter().rposition(|w| *w > 0.0)
     }
 
+    /// The generator's internal `(state, stream)` words.
+    ///
+    /// Exposed so machine-state fingerprints (divergence bisection, trial
+    /// replay checks) can incorporate the RNG position without depending
+    /// on the `Debug` rendering. Two generators with equal parts produce
+    /// identical future streams.
+    pub fn state_parts(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
     /// Fisher–Yates shuffles `items` in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
