@@ -90,10 +90,31 @@ fn main() {
     let batched_allocs = ALLOCS.load(Ordering::Relaxed) - a1;
     let batched_rate = batched_steps as f64 / batched_secs;
 
+    // Virtio datapath (PR 7): the 2AppVM vswitch workload, where every
+    // queue-notify handler walks a descriptor-ring transaction and tx
+    // frames are forwarded guest-to-guest. Same batched loop, so the
+    // number is comparable to `batched` above.
+    let (mut vhv, _vlayout) =
+        build_system(MachineConfig::small(), SetupKind::TwoAppVmVswitch, 2018);
+    vhv.run_for(SimDuration::from_millis(200));
+    let vbefore = vhv.steps_executed();
+    let vframes0 = vhv.virtio.forwarded;
+    let a2 = ALLOCS.load(Ordering::Relaxed);
+    let t2 = Instant::now();
+    while vhv.steps_executed() - vbefore < steps && vhv.detection().is_none() {
+        vhv.run_for(SimDuration::from_millis(50));
+    }
+    let virtio_secs = t2.elapsed().as_secs_f64();
+    let virtio_steps = vhv.steps_executed() - vbefore;
+    let virtio_allocs = ALLOCS.load(Ordering::Relaxed) - a2;
+    let virtio_frames = vhv.virtio.forwarded - vframes0;
+    let virtio_rate = virtio_steps as f64 / virtio_secs;
+
     let json = format!(
-        "{{\n  \"workload\": \"warm_trial/1appvm_unixbench\",\n  \"steps\": {steps},\n  \"per_step\": {{\n    \"steps_per_sec\": {per_step_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"batched\": {{\n    \"steps_per_sec\": {batched_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }}\n}}\n",
+        "{{\n  \"workload\": \"warm_trial/1appvm_unixbench\",\n  \"steps\": {steps},\n  \"per_step\": {{\n    \"steps_per_sec\": {per_step_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"batched\": {{\n    \"steps_per_sec\": {batched_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"virtio\": {{\n    \"workload\": \"warm_trial/2appvm_vswitch\",\n    \"steps_per_sec\": {virtio_rate:.0},\n    \"allocs_per_step\": {:.6},\n    \"frames_forwarded\": {virtio_frames}\n  }}\n}}\n",
         per_step_allocs as f64 / steps as f64,
         batched_allocs as f64 / batched_steps.max(1) as f64,
+        virtio_allocs as f64 / virtio_steps.max(1) as f64,
     );
     std::fs::write(&out, &json).expect("write bench json");
     print!("{json}");

@@ -77,6 +77,34 @@ fn steady_state_stepping_allocates_nothing() {
 }
 
 #[test]
+fn virtio_datapath_steady_state_allocates_nothing() {
+    let (mut hv, _layout) = build_system(MachineConfig::small(), SetupKind::TwoAppVmVswitch, 2018);
+    // Warm-up covers the virtio paths too: queue-notify programs enter the
+    // per-CPU pools, and the descriptor rings are fixed-size arrays that
+    // never grow.
+    run_steps(&mut hv, 500_000);
+
+    let before_steps = hv.steps_executed();
+    let before_frames = hv.virtio.forwarded;
+    let before_allocs = ALLOCS.load(Ordering::Relaxed);
+    run_steps(&mut hv, 300_000);
+    let steps = hv.steps_executed() - before_steps;
+    let frames = hv.virtio.forwarded - before_frames;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before_allocs;
+
+    assert!(
+        frames > 0,
+        "the vswitch datapath (submit/complete/forward) must actually run \
+         during the measured window"
+    );
+    assert_eq!(
+        allocs, 0,
+        "virtio steady state must not allocate: {allocs} allocations over \
+         {steps} steps / {frames} forwarded frames"
+    );
+}
+
+#[test]
 fn pooling_off_reproduces_the_old_allocation_behaviour() {
     let (mut hv, _layout) = build_system(
         MachineConfig::small(),

@@ -140,7 +140,7 @@ pub fn classify(
     }
 
     match layout.setup {
-        SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => {
+        SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
             // 1AppVM-style criterion: "recovery success" means no VM is
             // affected.
             if affected == 0 {

@@ -261,6 +261,27 @@ pub fn run_sampled_campaign(
     windows: usize,
     mode: SamplingMode,
 ) -> SampledCampaign {
+    run_sampled_campaign_steered(
+        setup, fault, mechanism, base_seed, trials, windows, mode, None,
+    )
+}
+
+/// [`run_sampled_campaign`] with an optional handler filter: every trial's
+/// armed injector is held until the struck CPU executes inside
+/// `steer_handler` (see [`nlh_inject::Injector::steer_to_handler`]). The
+/// device-heavy campaigns use `HandlerKind::VirtioMmio` to land every
+/// fault mid-virtqueue-transaction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sampled_campaign_steered(
+    setup: SetupKind,
+    fault: FaultType,
+    mechanism: &dyn RecoveryMechanism,
+    base_seed: u64,
+    trials: u64,
+    windows: usize,
+    mode: SamplingMode,
+    steer_handler: Option<HandlerKind>,
+) -> SampledCampaign {
     let cache = BootCache::new();
     let mut coverage = CoverageMap::new(windows);
     let mut out = SampledCampaign {
@@ -284,6 +305,7 @@ pub fn run_sampled_campaign(
         let (hv, layout) = cache.checkout(&config.machine, config.setup, config.seed);
         let opts = TrialRunOptions {
             trigger_ops,
+            steer_handler,
             ..TrialRunOptions::default()
         };
         let (result, record, _) = run_trial_with(hv, &layout, &config, mechanism, opts);

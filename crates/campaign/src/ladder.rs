@@ -57,7 +57,7 @@ mod tests {
         // define the ladder: Basic never succeeds, the top rung mostly
         // succeeds, and the trend is upward overall.
         let rows = run_ladder(30, 11);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         let basic = rows.first().unwrap();
         assert_eq!(
             basic.result.successes, 0,

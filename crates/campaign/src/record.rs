@@ -187,6 +187,10 @@ pub struct TrialRecord {
     /// `(0, MAX_TRIGGER_OPS)` for uniform campaigns; a narrower stratum
     /// under coverage-guided steering.
     pub trigger_ops: (u64, u64),
+    /// The handler filter a steered trial held the armed injector for
+    /// (`None` for unsteered trials). Part of the identity: replay must
+    /// restore it or the fault lands elsewhere.
+    pub steer_handler: Option<HandlerKind>,
     /// Recovery mechanism name (`"NiLiHype"` / `"ReHype"`).
     pub mechanism: String,
     /// When the first-level trigger timer was set to fire.
@@ -207,6 +211,7 @@ fn format_setup(setup: SetupKind) -> String {
         SetupKind::OneAppVm(b) => format!("OneAppVm:{b}"),
         SetupKind::ThreeAppVm => "ThreeAppVm".into(),
         SetupKind::TwoAppVmSharedCpu => "TwoAppVmSharedCpu".into(),
+        SetupKind::TwoAppVmVswitch => "TwoAppVmVswitch".into(),
     }
 }
 
@@ -214,12 +219,15 @@ fn parse_setup(s: &str) -> Option<SetupKind> {
     match s {
         "ThreeAppVm" => Some(SetupKind::ThreeAppVm),
         "TwoAppVmSharedCpu" => Some(SetupKind::TwoAppVmSharedCpu),
+        "TwoAppVmVswitch" => Some(SetupKind::TwoAppVmVswitch),
         _ => {
             let bench = s.strip_prefix("OneAppVm:")?;
             let bench = match bench {
                 "BlkBench" => BenchKind::BlkBench,
                 "UnixBench" => BenchKind::UnixBench,
                 "NetBench" => BenchKind::NetBench,
+                "VirtioBlkBench" => BenchKind::VirtioBlkBench,
+                "VirtioNetBench" => BenchKind::VirtioNetBench,
                 _ => return None,
             };
             Some(SetupKind::OneAppVm(bench))
@@ -301,6 +309,9 @@ impl TrialRecord {
             "trigger_ops = {}..{}",
             self.trigger_ops.0, self.trigger_ops.1
         );
+        if let Some(h) = self.steer_handler {
+            let _ = writeln!(out, "steer_handler = {h}");
+        }
         let _ = writeln!(out, "fire_at = {}", self.fire_at.as_nanos());
         let _ = writeln!(out, "ops_budget = {}", self.ops_budget);
         if let Some(p) = &self.injection {
@@ -351,6 +362,7 @@ impl TrialRecord {
         let mut machine = None;
         let mut mechanism = None;
         let mut trigger_ops = None;
+        let mut steer_handler = None;
         let mut fire_at = None;
         let mut ops_budget = None;
         let mut injection = None;
@@ -398,6 +410,10 @@ impl TrialRecord {
                         lo.parse::<u64>().map_err(|_| bad("trigger_ops"))?,
                         hi.parse::<u64>().map_err(|_| bad("trigger_ops"))?,
                     ));
+                }
+                "steer_handler" => {
+                    steer_handler =
+                        Some(HandlerKind::from_name(value).ok_or_else(|| bad("steer_handler"))?);
                 }
                 "fire_at" => {
                     fire_at = Some(SimTime::from_nanos(
@@ -470,6 +486,7 @@ impl TrialRecord {
         Ok(TrialRecord {
             config,
             trigger_ops: trigger_ops.ok_or("missing trigger_ops")?,
+            steer_handler,
             mechanism: mechanism.ok_or("missing mechanism")?,
             fire_at: fire_at.ok_or("missing fire_at")?,
             ops_budget: ops_budget.ok_or("missing ops_budget")?,
@@ -503,6 +520,7 @@ impl TrialRecord {
             cache.checkout(&self.config.machine, self.config.setup, self.config.seed);
         let opts = TrialRunOptions {
             trigger_ops: Some(self.trigger_ops),
+            steer_handler: self.steer_handler,
             ..TrialRunOptions::default()
         };
         let (result, record, _) = run_trial_with(hv, &layout, &self.config, mechanism, opts);
@@ -570,6 +588,7 @@ mod tests {
                 42,
             ),
             trigger_ops: (0, MAX_TRIGGER_OPS),
+            steer_handler: None,
             mechanism: "NiLiHype".into(),
             fire_at: SimTime::from_millis(29),
             ops_budget: 117,
@@ -606,8 +625,11 @@ mod tests {
             SetupKind::OneAppVm(BenchKind::BlkBench),
             SetupKind::OneAppVm(BenchKind::UnixBench),
             SetupKind::OneAppVm(BenchKind::NetBench),
+            SetupKind::OneAppVm(BenchKind::VirtioBlkBench),
+            SetupKind::OneAppVm(BenchKind::VirtioNetBench),
             SetupKind::ThreeAppVm,
             SetupKind::TwoAppVmSharedCpu,
+            SetupKind::TwoAppVmVswitch,
         ] {
             assert_eq!(parse_setup(&format_setup(setup)), Some(setup));
         }
@@ -624,6 +646,20 @@ mod tests {
         ] {
             assert_eq!(parse_class(&format_class(&class)), Some(class));
         }
+    }
+
+    #[test]
+    fn steer_handler_key_round_trips() {
+        let mut rec = sample_record();
+        rec.steer_handler = Some(HandlerKind::VirtioMmio);
+        let text = rec.to_text();
+        assert!(text.contains("steer_handler = VirtioMmio"));
+        let back = TrialRecord::from_text(&text).expect("parse");
+        assert_eq!(rec, back);
+        // Absent key stays None (older records parse unchanged).
+        rec.steer_handler = None;
+        let back = TrialRecord::from_text(&rec.to_text()).expect("parse");
+        assert_eq!(back.steer_handler, None);
     }
 
     #[test]

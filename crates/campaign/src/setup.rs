@@ -3,10 +3,11 @@
 use nlh_hv::domain::{DomainKind, DomainSpec, GuestProgram};
 use nlh_hv::{CpuId, DomId, Hypervisor, MachineConfig};
 use nlh_sim::{Pcg64, SimDuration, SimTime};
-use nlh_workloads::{BlkBench, NetBench, PrivVmDriver, UnixBench};
+use nlh_workloads::{BlkBench, NetBench, PrivVmDriver, UnixBench, VirtioBlkBench, VirtioNetBench};
 use serde::{Deserialize, Serialize};
 
-/// The synthetic benchmarks (Section VI-A).
+/// The synthetic benchmarks (Section VI-A, plus the virtio device-path
+/// variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BenchKind {
     /// Block-device stress.
@@ -15,6 +16,11 @@ pub enum BenchKind {
     UnixBench,
     /// UDP ping responder (also the latency probe).
     NetBench,
+    /// Block-device stress over the virtio-blk descriptor ring.
+    VirtioBlkBench,
+    /// Paced east-west frames through a virtio-net port (loopback in the
+    /// 1AppVM setup, cross-connected in `TwoAppVmVswitch`).
+    VirtioNetBench,
 }
 
 impl std::fmt::Display for BenchKind {
@@ -23,6 +29,8 @@ impl std::fmt::Display for BenchKind {
             BenchKind::BlkBench => write!(f, "BlkBench"),
             BenchKind::UnixBench => write!(f, "UnixBench"),
             BenchKind::NetBench => write!(f, "NetBench"),
+            BenchKind::VirtioBlkBench => write!(f, "VirtioBlkBench"),
+            BenchKind::VirtioNetBench => write!(f, "VirtioNetBench"),
         }
     }
 }
@@ -43,13 +51,20 @@ pub enum SetupKind {
     /// vCPUs per CPU"). "Success" means no VM affected, as in the 1AppVM
     /// setup.
     TwoAppVmSharedCpu,
+    /// PrivVM + two AppVMs each running [`BenchKind::VirtioNetBench`] on a
+    /// virtio-net port, cross-connected through the virtual switch
+    /// (east-west traffic). The device-heavy configuration for the
+    /// virtqueue-consistency experiments; "success" means no VM affected.
+    TwoAppVmVswitch,
 }
 
 impl SetupKind {
     /// Benchmark run length for this setup.
     pub fn bench_duration(self) -> SimDuration {
         match self {
-            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => SimDuration::from_secs(10),
+            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
+                SimDuration::from_secs(10)
+            }
             SetupKind::ThreeAppVm => SimDuration::from_secs(24),
         }
     }
@@ -57,7 +72,9 @@ impl SetupKind {
     /// Total simulated trial length (benchmarks + recovery + slack).
     pub fn trial_duration(self) -> SimDuration {
         match self {
-            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => SimDuration::from_secs(13),
+            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
+                SimDuration::from_secs(13)
+            }
             SetupKind::ThreeAppVm => SimDuration::from_secs(27),
         }
     }
@@ -67,7 +84,7 @@ impl SetupKind {
     /// 6 s.
     pub fn trigger_window(self) -> (SimTime, SimTime) {
         match self {
-            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => {
+            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
                 (SimTime::from_secs(1), SimTime::from_secs(9))
             }
             SetupKind::ThreeAppVm => (SimTime::from_millis(500), SimTime::from_secs(6)),
@@ -98,6 +115,13 @@ fn make_bench(kind: BenchKind, seed: u64, dur: SimDuration, tls: f64) -> Box<dyn
         BenchKind::BlkBench => Box::new(BlkBench::new(seed, dur, tls)),
         BenchKind::UnixBench => Box::new(UnixBench::new(seed, dur, tls)),
         BenchKind::NetBench => Box::new(NetBench::new(seed, dur, tls)),
+        BenchKind::VirtioBlkBench => Box::new(VirtioBlkBench::new(seed, dur, tls)),
+        BenchKind::VirtioNetBench => Box::new(VirtioNetBench::new(
+            seed,
+            dur,
+            SimDuration::from_millis(1),
+            tls,
+        )),
     }
 }
 
@@ -121,7 +145,9 @@ pub fn build_system(
     let dur = setup.bench_duration();
 
     let (create_at, post_recovery_app) = match setup {
-        SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu => (None, None),
+        SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
+            (None, None)
+        }
         // "Following recovery, a third AppVM is created": scheduled after
         // the trigger window plus worst-case detection + recovery latency.
         SetupKind::ThreeAppVm => (Some(SimTime::from_secs(9)), Some(BenchKind::BlkBench)),
@@ -163,9 +189,39 @@ pub fn build_system(
                 program: make_bench(kind, seed ^ 0xA1, dur, tls),
             });
             initial_apps.push((dom, kind));
-            if kind == BenchKind::NetBench {
-                hv.attach_net_traffic(dom, SimDuration::from_millis(1));
+            match kind {
+                BenchKind::NetBench => {
+                    hv.attach_net_traffic(dom, SimDuration::from_millis(1));
+                }
+                BenchKind::VirtioBlkBench => {
+                    hv.add_virtio_blk(dom);
+                }
+                // A single port loops back to itself: tx frames arrive on
+                // the same port's rx queue.
+                BenchKind::VirtioNetBench => {
+                    hv.add_virtio_net(dom);
+                }
+                _ => {}
             }
+        }
+        SetupKind::TwoAppVmVswitch => {
+            let d1 = hv.add_boot_domain(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(1),
+                program: make_bench(BenchKind::VirtioNetBench, seed ^ 0xA1, dur, tls),
+            });
+            initial_apps.push((d1, BenchKind::VirtioNetBench));
+            let d2 = hv.add_boot_domain(DomainSpec {
+                kind: DomainKind::App,
+                pages: APP_PAGES,
+                pinned_cpu: CpuId(2),
+                program: make_bench(BenchKind::VirtioNetBench, seed ^ 0xA2, dur, tls),
+            });
+            initial_apps.push((d2, BenchKind::VirtioNetBench));
+            let p1 = hv.add_virtio_net(d1);
+            let p2 = hv.add_virtio_net(d2);
+            hv.connect_vswitch(p1, p2);
         }
         SetupKind::ThreeAppVm => {
             let d1 = hv.add_boot_domain(DomainSpec {
@@ -274,6 +330,39 @@ mod tests {
             2,
         );
         assert!(hv.net.is_some());
+    }
+
+    #[test]
+    fn vswitch_layout_connects_two_ports() {
+        let (hv, layout) = build_system(MachineConfig::small(), SetupKind::TwoAppVmVswitch, 4);
+        assert_eq!(hv.domains.len(), 3);
+        assert_eq!(layout.initial_apps.len(), 2);
+        assert_eq!(hv.virtio.devices.len(), 2);
+        // Cross-connected: each port's peer is the other one.
+        assert_eq!(hv.virtio.peer_of(0), 1);
+        assert_eq!(hv.virtio.peer_of(1), 0);
+        assert!(hv.net.is_none(), "no legacy NetBench traffic source");
+        assert!(layout.create_at.is_none());
+    }
+
+    #[test]
+    fn one_appvm_virtio_blk_attaches_device() {
+        let (hv, _) = build_system(
+            MachineConfig::small(),
+            SetupKind::OneAppVm(BenchKind::VirtioBlkBench),
+            5,
+        );
+        assert_eq!(hv.virtio.devices.len(), 1);
+        assert!(hv.net.is_none());
+    }
+
+    #[test]
+    fn fault_free_vswitch_run_forwards_frames() {
+        let (mut hv, _) = build_system(MachineConfig::small(), SetupKind::TwoAppVmVswitch, 6);
+        hv.run_until(SimTime::from_secs(1));
+        assert!(hv.detection().is_none(), "{:?}", hv.detection());
+        assert!(hv.virtio.forwarded > 0, "east-west frames flowing");
+        assert_eq!(hv.virtio.dropped_torn, 0);
     }
 
     #[test]

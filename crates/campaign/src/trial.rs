@@ -176,6 +176,11 @@ pub struct TrialRunOptions {
     /// probes a prefix and fingerprints the machine). Requires
     /// `batched == false`: the batched path cannot stop mid-stretch.
     pub step_limit: Option<u64>,
+    /// Hold the armed injector until the struck CPU executes inside this
+    /// handler family (see [`Injector::steer_to_handler`]). The
+    /// device-heavy campaigns steer into `HandlerKind::VirtioMmio` to land
+    /// faults mid-virtqueue-transaction; replay restores the filter.
+    pub steer_handler: Option<nlh_hv::HandlerKind>,
 }
 
 impl Default for TrialRunOptions {
@@ -185,6 +190,7 @@ impl Default for TrialRunOptions {
             trigger_ops: None,
             inject: true,
             step_limit: None,
+            steer_handler: None,
         }
     }
 }
@@ -218,10 +224,14 @@ pub fn run_trial_with(
         config.setup.trigger_window(),
         trigger_ops,
     );
+    if let Some(h) = opts.steer_handler {
+        injector = injector.steer_to_handler(h);
+    }
 
     let mut record = TrialRecord {
         config: config.clone(),
         trigger_ops,
+        steer_handler: opts.steer_handler,
         mechanism: mechanism.name().to_string(),
         fire_at: injector.fire_at(),
         ops_budget: injector.ops_budget(),

@@ -13,10 +13,10 @@ use nlh_campaign::{
     classify, run_trial_with, BenchKind, BootCache, SetupKind, SystemLayout, TrialClass,
     TrialConfig, TrialObservations, TrialRunOptions,
 };
-use nlh_core::Microreset;
+use nlh_core::{LadderRung, Microreset};
 use nlh_hv::domain::DomainState;
 use nlh_hv::hypercalls::{PendingKind, PendingRequest};
-use nlh_hv::Hypervisor;
+use nlh_hv::{HandlerKind, Hypervisor};
 use nlh_inject::FaultType;
 use nlh_sim::{SimDuration, SimTime};
 
@@ -204,6 +204,88 @@ fn shared_cpu_covers_every_class_pair() {
         expect: |c| *c == TrialClass::RecoveryFailure("the AppVM was affected".into()),
     });
     run_table(SetupKind::TwoAppVmSharedCpu, &rows);
+}
+
+#[test]
+fn virtio_blk_one_appvm_covers_every_class_pair() {
+    let mut rows = common_rows();
+    rows.push(Row {
+        name: "the virtio-blk AppVM affected -> RecoveryFailure",
+        mutate: |fix, _| crash_initial_app(fix, 0),
+        expect: |c| *c == TrialClass::RecoveryFailure("the AppVM was affected".into()),
+    });
+    run_table(SetupKind::OneAppVm(BenchKind::VirtioBlkBench), &rows);
+}
+
+#[test]
+fn virtio_net_one_appvm_covers_every_class_pair() {
+    let mut rows = common_rows();
+    rows.push(Row {
+        name: "the virtio-net AppVM affected -> RecoveryFailure",
+        mutate: |fix, _| crash_initial_app(fix, 0),
+        expect: |c| *c == TrialClass::RecoveryFailure("the AppVM was affected".into()),
+    });
+    run_table(SetupKind::OneAppVm(BenchKind::VirtioNetBench), &rows);
+}
+
+#[test]
+fn vswitch_covers_every_class_pair() {
+    let mut rows = common_rows();
+    rows.push(Row {
+        name: "one of two vswitch AppVMs affected -> RecoveryFailure",
+        mutate: |fix, _| crash_initial_app(fix, 1),
+        expect: |c| *c == TrialClass::RecoveryFailure("the AppVM was affected".into()),
+    });
+    run_table(SetupKind::TwoAppVmVswitch, &rows);
+}
+
+/// The ring-consistency rung changes a real steered trial's class: with
+/// the fault held for the `VirtioMmio` notify handler, the stranded
+/// descriptor blocks a guest forever unless the rung repairs the ring.
+/// One classification row per device family, rung off and on.
+#[test]
+fn ring_consistency_rung_flips_steered_trial_class() {
+    for setup in [
+        SetupKind::OneAppVm(BenchKind::VirtioBlkBench),
+        SetupKind::TwoAppVmVswitch,
+    ] {
+        let cache = BootCache::new();
+        let run = |rung: LadderRung, seed: u64| {
+            let mech = Microreset::with_enhancements(rung.enhancements());
+            let cfg = TrialConfig::new(setup, FaultType::Failstop, seed);
+            let (hv, layout) = cache.checkout(&cfg.machine, cfg.setup, cfg.seed);
+            let opts = TrialRunOptions {
+                steer_handler: Some(HandlerKind::VirtioMmio),
+                ..TrialRunOptions::default()
+            };
+            run_trial_with(hv, &layout, &cfg, &mech, opts).0
+        };
+        // A seed whose mid-virtqueue fault is repairable: rung off leaves
+        // the AppVM stuck on a lost completion, rung on recovers cleanly.
+        let seed = (0..40)
+            .find(|&s| {
+                run(LadderRung::VirtqueueConsistency, s).class.is_success()
+                    && !run(LadderRung::ReactivateTimerEvents, s).class.is_success()
+            })
+            .expect("some steered seed must be flipped by the rung");
+        let off = run(LadderRung::ReactivateTimerEvents, seed);
+        assert_eq!(
+            off.class,
+            TrialClass::RecoveryFailure("the AppVM was affected".into()),
+            "{setup:?} seed {seed} rung off"
+        );
+        let on = run(LadderRung::VirtqueueConsistency, seed);
+        assert!(
+            matches!(
+                on.class,
+                TrialClass::RecoverySuccess {
+                    no_vm_failures: true
+                }
+            ),
+            "{setup:?} seed {seed} rung on: got {:?}",
+            on.class
+        );
+    }
 }
 
 #[test]

@@ -129,6 +129,15 @@ impl RecoveryMechanism for CheckpointRestore {
             "Reprogram hardware timers, acknowledge interrupts",
             SimDuration::from_micros(60),
         );
+        // Virtio rings live in guest memory the checkpoint does not cover:
+        // repair them the NiLiHype way (absent without devices).
+        if !hv.virtio.is_empty() {
+            let rep = hv.virtio_repair();
+            push(
+                "Repair virtqueue ring consistency",
+                SimDuration::from_micros(20 + 2 * rep.total()),
+            );
+        }
 
         hv.finish_fsgs(&abandon.in_hv_vcpus, true);
 

@@ -45,6 +45,11 @@ pub struct Enhancements {
     pub unlock_static_locks: bool,
     /// Re-create missing recurring timer events.
     pub reactivate_timer_events: bool,
+    /// Rescan virtio descriptor rings after recovery: publish logged
+    /// completions, cancel torn rx fills, re-execute abandoned requests
+    /// and re-raise completion interrupts (this repo's device extension;
+    /// a no-op on machines without virtio devices).
+    pub virtqueue_consistency: bool,
 }
 
 impl Enhancements {
@@ -65,6 +70,7 @@ impl Enhancements {
             reprogram_timer: false,
             unlock_static_locks: false,
             reactivate_timer_events: false,
+            virtqueue_consistency: false,
         }
     }
 
@@ -84,6 +90,7 @@ impl Enhancements {
             reprogram_timer: true,
             unlock_static_locks: true,
             reactivate_timer_events: true,
+            virtqueue_consistency: true,
         }
     }
 
@@ -123,13 +130,17 @@ pub enum LadderRung {
     ReprogramTimer,
     /// `+ Unlock static locks`. Paper: 96.1% ± 1.2%.
     UnlockStaticLocks,
-    /// `+ Reactivate recurring timer events` (the full mechanism).
+    /// `+ Reactivate recurring timer events` (the paper's full mechanism).
     ReactivateTimerEvents,
+    /// `+ Virtqueue ring consistency` (this repo's device extension: the
+    /// paper's setups have no virtio devices, so this rung equals the one
+    /// below on every paper campaign).
+    VirtqueueConsistency,
 }
 
 impl LadderRung {
     /// All rungs, bottom to top.
-    pub const ALL: [LadderRung; 7] = [
+    pub const ALL: [LadderRung; 8] = [
         LadderRung::Basic,
         LadderRung::ClearIrqCount,
         LadderRung::ReHypeMechanisms,
@@ -137,6 +148,7 @@ impl LadderRung {
         LadderRung::ReprogramTimer,
         LadderRung::UnlockStaticLocks,
         LadderRung::ReactivateTimerEvents,
+        LadderRung::VirtqueueConsistency,
     ];
 
     /// The paper's Table I label for this rung.
@@ -149,6 +161,7 @@ impl LadderRung {
             LadderRung::ReprogramTimer => "+ Reprogram hardware timer",
             LadderRung::UnlockStaticLocks => "+ Unlock static locks",
             LadderRung::ReactivateTimerEvents => "+ Reactivate recurring timer events",
+            LadderRung::VirtqueueConsistency => "+ Virtqueue ring consistency",
         }
     }
 
@@ -162,6 +175,7 @@ impl LadderRung {
             LadderRung::ReprogramTimer => Some(0.950),
             LadderRung::UnlockStaticLocks => Some(0.961),
             LadderRung::ReactivateTimerEvents => None, // final rate, ~96-97%
+            LadderRung::VirtqueueConsistency => None,  // not in the paper
         }
     }
 
@@ -186,6 +200,9 @@ impl LadderRung {
         }
         if rung >= LadderRung::ReactivateTimerEvents as usize {
             e.reactivate_timer_events = true;
+        }
+        if rung >= LadderRung::VirtqueueConsistency as usize {
+            e.virtqueue_consistency = true;
         }
         e
     }
@@ -214,6 +231,7 @@ mod tests {
                 e.reprogram_timer,
                 e.unlock_static_locks,
                 e.reactivate_timer_events,
+                e.virtqueue_consistency,
             ]
             .iter()
             .filter(|b| **b)
@@ -226,9 +244,17 @@ mod tests {
     #[test]
     fn top_rung_is_full() {
         assert_eq!(
-            LadderRung::ReactivateTimerEvents.enhancements(),
+            LadderRung::VirtqueueConsistency.enhancements(),
             Enhancements::full()
         );
+    }
+
+    #[test]
+    fn paper_top_rung_differs_only_in_virtqueue_consistency() {
+        let mut paper_full = LadderRung::ReactivateTimerEvents.enhancements();
+        assert!(!paper_full.virtqueue_consistency);
+        paper_full.virtqueue_consistency = true;
+        assert_eq!(paper_full, Enhancements::full());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use nlh_campaign::{
     bisect_trials, mechanism_for_name, run_trial_with, BenchKind, BootCache, SetupKind,
     TrialConfig, TrialRecord, TrialRunOptions,
 };
+use nlh_hv::HandlerKind;
 use nlh_inject::FaultType;
 
 struct Args {
@@ -27,6 +28,7 @@ struct Args {
     fault: FaultType,
     mech: String,
     ops: Option<(u64, u64)>,
+    steer: Option<HandlerKind>,
     log: Option<String>,
     out: Option<String>,
     bisect: bool,
@@ -39,6 +41,7 @@ fn parse_args() -> Args {
         fault: FaultType::Failstop,
         mech: "NiLiHype".to_string(),
         ops: None,
+        steer: None,
         log: None,
         out: None,
         bisect: false,
@@ -57,7 +60,14 @@ fn parse_args() -> Args {
                     "net" => SetupKind::OneAppVm(BenchKind::NetBench),
                     "3appvm" => SetupKind::ThreeAppVm,
                     "shared" => SetupKind::TwoAppVmSharedCpu,
-                    other => panic!("unknown setup {other} (blk|unix|net|3appvm|shared)"),
+                    "vblk" => SetupKind::OneAppVm(BenchKind::VirtioBlkBench),
+                    "vnet" => SetupKind::OneAppVm(BenchKind::VirtioNetBench),
+                    "vswitch" => SetupKind::TwoAppVmVswitch,
+                    other => {
+                        panic!(
+                            "unknown setup {other} (blk|unix|net|3appvm|shared|vblk|vnet|vswitch)"
+                        )
+                    }
                 }
             }
             "--fault" => {
@@ -68,6 +78,13 @@ fn parse_args() -> Args {
             "--mech" => args.mech = val("--mech"),
             "--ops-lo" => ops_lo = Some(val("--ops-lo").parse::<u64>().expect("integer")),
             "--ops-hi" => ops_hi = Some(val("--ops-hi").parse::<u64>().expect("integer")),
+            "--steer" => {
+                let v = val("--steer");
+                args.steer = Some(
+                    HandlerKind::from_name(&v)
+                        .unwrap_or_else(|| panic!("unknown handler {v} (e.g. VirtioMmio)")),
+                );
+            }
             "--log" => args.log = Some(val("--log")),
             "--out" => args.out = Some(val("--out")),
             "--bisect" => args.bisect = true,
@@ -98,6 +115,7 @@ fn main() {
             let (hv, layout) = cache.checkout(&config.machine, config.setup, config.seed);
             let opts = TrialRunOptions {
                 trigger_ops: args.ops,
+                steer_handler: args.steer,
                 ..TrialRunOptions::default()
             };
             let (_, record, _) = run_trial_with(hv, &layout, &config, mech.as_ref(), opts);
@@ -130,6 +148,7 @@ fn main() {
         };
         let steered = TrialRunOptions {
             trigger_ops: Some(record.trigger_ops),
+            steer_handler: record.steer_handler,
             ..TrialRunOptions::default()
         };
         println!("\nbisecting against the fault-free reference execution...");

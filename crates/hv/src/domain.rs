@@ -29,6 +29,15 @@ pub enum GuestOp {
     Syscall,
     /// Block until an event is delivered (event channel or virtual timer).
     Block,
+    /// Write the queue-notify MMIO register of the domain's virtio
+    /// device: submit `payload` on queue `queue` and trap into the
+    /// hypervisor's virtio MMIO handler to run the transaction.
+    VirtioKick {
+        /// Queue index within the domain's device.
+        queue: u8,
+        /// Descriptor payload (request id or frame sequence number).
+        payload: u64,
+    },
     /// The benchmark has finished; the vCPU idles from now on.
     Done,
 }

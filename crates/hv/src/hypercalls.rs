@@ -225,6 +225,49 @@ pub enum MicroOp {
     /// Record an outbound NetBench reply at the external sender (used to
     /// measure service interruption — Section VII-B).
     RecordNetReply(u64),
+    /// Virtio device model: pop the oldest available descriptor of queue
+    /// `q` of device `dev` into the in-flight FIFO.
+    VqPopAvail {
+        /// Device index in the hypervisor's virtio state.
+        dev: u8,
+        /// Queue index within the device.
+        q: u8,
+    },
+    /// Virtio device model: backend work on the oldest in-flight
+    /// descriptor (block storage op; net tx frames forward through the
+    /// vswitch into the peer's rx queue).
+    VqDeviceWork {
+        /// Device index in the hypervisor's virtio state.
+        dev: u8,
+        /// Queue index within the device.
+        q: u8,
+    },
+    /// Virtio device model: record the oldest in-flight descriptor's
+    /// completion in the device's completion log.
+    VqLogComplete {
+        /// Device index in the hypervisor's virtio state.
+        dev: u8,
+        /// Queue index within the device.
+        q: u8,
+    },
+    /// Virtio device model: publish the oldest logged completion to the
+    /// used ring.
+    VqPushUsed {
+        /// Device index in the hypervisor's virtio state.
+        dev: u8,
+        /// Queue index within the device.
+        q: u8,
+    },
+    /// Virtio device model: raise device `dev`'s interrupt vector at its
+    /// routed CPU.
+    VqRaiseIrq {
+        /// Device index in the hypervisor's virtio state.
+        dev: u8,
+    },
+    /// Virtio interrupt handler: drain every used ring of every device on
+    /// this vector — post completion events to the owning guests, repost
+    /// consumed rx buffers, and unblock waiting vCPUs.
+    VqDeliverUsed(IrqVector),
 }
 
 /// Why the hypervisor was entered (what the current program is doing).
@@ -240,13 +283,19 @@ pub enum EntryCause {
     DeviceInterrupt(IrqVector),
     /// The scheduler switching a woken vCPU in on an idle CPU.
     Scheduler,
+    /// Servicing a virtio MMIO register write (a queue notify) trapped
+    /// from `vcpu`. Runs in the kicking guest's context, like a
+    /// hypercall: the vCPU is inside the hypervisor, not in an interrupt.
+    VirtioMmio(VcpuId),
 }
 
 impl EntryCause {
     /// The vCPU on whose behalf this entry runs, if any.
     pub fn vcpu(self) -> Option<VcpuId> {
         match self {
-            EntryCause::Hypercall(v) | EntryCause::Syscall(v) => Some(v),
+            EntryCause::Hypercall(v) | EntryCause::Syscall(v) | EntryCause::VirtioMmio(v) => {
+                Some(v)
+            }
             EntryCause::TimerInterrupt | EntryCause::DeviceInterrupt(_) | EntryCause::Scheduler => {
                 None
             }
@@ -271,6 +320,7 @@ impl EntryCause {
             EntryCause::TimerInterrupt => HandlerKind::TimerInterrupt,
             EntryCause::DeviceInterrupt(_) => HandlerKind::DeviceInterrupt,
             EntryCause::Scheduler => HandlerKind::Scheduler,
+            EntryCause::VirtioMmio(_) => HandlerKind::VirtioMmio,
         }
     }
 }
@@ -291,16 +341,19 @@ pub enum HandlerKind {
     DeviceInterrupt,
     /// The scheduler switching a woken vCPU in.
     Scheduler,
+    /// A virtio MMIO register handler (queue notify).
+    VirtioMmio,
 }
 
 impl HandlerKind {
     /// Every handler kind, in [`HandlerKind::index`] order.
-    pub const ALL: [HandlerKind; 5] = [
+    pub const ALL: [HandlerKind; 6] = [
         HandlerKind::Hypercall,
         HandlerKind::Syscall,
         HandlerKind::TimerInterrupt,
         HandlerKind::DeviceInterrupt,
         HandlerKind::Scheduler,
+        HandlerKind::VirtioMmio,
     ];
 
     /// A dense index in `0..HandlerKind::ALL.len()`.
@@ -311,6 +364,7 @@ impl HandlerKind {
             HandlerKind::TimerInterrupt => 2,
             HandlerKind::DeviceInterrupt => 3,
             HandlerKind::Scheduler => 4,
+            HandlerKind::VirtioMmio => 5,
         }
     }
 
@@ -322,6 +376,7 @@ impl HandlerKind {
             HandlerKind::TimerInterrupt => "TimerInterrupt",
             HandlerKind::DeviceInterrupt => "DeviceInterrupt",
             HandlerKind::Scheduler => "Scheduler",
+            HandlerKind::VirtioMmio => "VirtioMmio",
         }
     }
 

@@ -11,7 +11,9 @@
 use std::collections::VecDeque;
 
 use nlh_sim::trace::{TraceLevel, TraceRing};
-use nlh_sim::{CpuId, Cycles, DomId, LockId, PageNum, Pcg64, SimDuration, SimTime, VcpuId};
+use nlh_sim::{
+    CpuId, Cycles, DomId, IrqVector, LockId, PageNum, Pcg64, SimDuration, SimTime, VcpuId,
+};
 
 use crate::accounting::CycleAccounting;
 use crate::config::{HvTuning, MachineConfig};
@@ -21,7 +23,7 @@ use crate::hypercalls::{
     EntryCause, HcRequest, MicroOp, OpSupport, PendingKind, PendingRequest, Program, ProgramPool,
     UndoEntry,
 };
-use crate::interrupts::{GuestEventKind, IrqSubsystem, VEC_NET};
+use crate::interrupts::{GuestEventKind, IrqSubsystem, VEC_BLK, VEC_NET};
 use crate::locks::{AcquireOutcome, LockPlacement, LockRegistry, StaticLock};
 use crate::mem::{Heap, HeapObjKind, PageFrameTable, PageState};
 use crate::percpu::PerCpu;
@@ -149,6 +151,8 @@ pub struct Hypervisor {
     pub net: Option<NetTraffic>,
     /// `(seq, time)` of every NetBench reply observed by the sender.
     pub net_replies: Vec<(u64, SimTime)>,
+    /// Virtio devices and the virtual switch connecting net ports.
+    pub virtio: nlh_virtio::VirtioState,
     /// Domain specifications waiting for a `domctl` create hypercall.
     pub create_queue: VecDeque<DomainSpec>,
     /// The undo log for non-idempotent hypercalls (Section IV).
@@ -292,6 +296,7 @@ impl Hypervisor {
             trace: TraceRing::disabled(),
             net: None,
             net_replies: Vec::new(),
+            virtio: nlh_virtio::VirtioState::new(),
             create_queue: VecDeque::new(),
             undo_log: Vec::new(),
             ioapic_log: None,
@@ -406,6 +411,39 @@ impl Hypervisor {
             drops: 0,
             ring_capacity: 4096,
         });
+    }
+
+    /// Attaches a virtio-blk device to `dom`, routing its completion
+    /// vector ([`VEC_BLK`]) to the domain's pinned CPU. Returns the device
+    /// index (for diagnostics; blk ports do not join the vswitch).
+    pub fn add_virtio_blk(&mut self, dom: DomId) -> usize {
+        let cpu = self.domains[dom.index()].pinned_cpu;
+        self.irqs.ioapic_write(VEC_BLK, Some(cpu));
+        self.virtio.add_device(nlh_virtio::VirtioDevice::new(
+            dom,
+            nlh_virtio::VirtioDeviceKind::Blk,
+            VEC_BLK,
+        ))
+    }
+
+    /// Attaches a virtio-net port to `dom`, routing [`VEC_NET`] to the
+    /// domain's pinned CPU (there is one global route per vector, so with
+    /// several ports the last attach wins it — deterministic; the delivery
+    /// handler drains every same-vector device regardless of which CPU it
+    /// ran on). Returns the port index for [`Hypervisor::connect_vswitch`].
+    pub fn add_virtio_net(&mut self, dom: DomId) -> usize {
+        let cpu = self.domains[dom.index()].pinned_cpu;
+        self.irqs.ioapic_write(VEC_NET, Some(cpu));
+        self.virtio.add_device(nlh_virtio::VirtioDevice::new(
+            dom,
+            nlh_virtio::VirtioDeviceKind::Net,
+            VEC_NET,
+        ))
+    }
+
+    /// Cross-connects two virtio-net ports through the virtual switch.
+    pub fn connect_vswitch(&mut self, a: usize, b: usize) {
+        self.virtio.connect(a, b);
     }
 
     // ------------------------------------------------------------------
@@ -551,6 +589,9 @@ impl Hypervisor {
             self.ioapic_log,
         );
         let _ = write!(s, "cq={} scrub={:?}", self.create_queue.len(), self.scrub);
+        if !self.virtio.is_empty() {
+            let _ = write!(s, " virtio={:?}", self.virtio);
+        }
         nlh_sim::digest::Fnv64::hash(s.as_bytes())
     }
 
@@ -904,6 +945,23 @@ impl Hypervisor {
             return StepOutcome::HvOp;
         }
 
+        // Virtio completion interrupt? Checked before the legacy NetBench
+        // arm: virtio setups share VEC_NET, and the legacy arm would
+        // otherwise consume the pending bit with `self.net == None`.
+        if !self.virtio.is_empty() {
+            for vec in [VEC_BLK, VEC_NET] {
+                if self.irqs.ioapic_route(vec) == Some(cpu)
+                    && self.irqs.is_pending(cpu, vec)
+                    && self.virtio_owns_vector(vec)
+                    && self.irqs.dispatch(cpu, vec)
+                {
+                    let prog = self.build_virtio_interrupt(cpu, vec);
+                    self.push_frame(cpu, prog);
+                    return StepOutcome::HvOp;
+                }
+            }
+        }
+
         // Device interrupt (network)?
         if self.irqs.ioapic_route(VEC_NET) == Some(cpu)
             && self.irqs.is_pending(cpu, VEC_NET)
@@ -1032,6 +1090,7 @@ impl Hypervisor {
                 self.start_request(cpu, vcpu, PendingKind::Hypercall(HcRequest::SchedBlock));
                 StepOutcome::HvOp
             }
+            GuestOp::VirtioKick { queue, payload } => self.virtio_kick(cpu, vcpu, queue, payload),
             GuestOp::Done => {
                 self.domains[dom_id.index()].finished = true;
                 self.advance(cpu, self.tuning.idle_quantum);
@@ -1276,6 +1335,144 @@ impl Hypervisor {
     /// sequence numbers handed to the guest.
     fn net_delivered_count(&self) -> u64 {
         self.net.as_ref().map(|n| n.delivered).unwrap_or(0)
+    }
+
+    /// Whether any virtio device signals completions on `vec` (so a hybrid
+    /// setup with a legacy NetBench sender keeps VEC_NET to itself).
+    fn virtio_owns_vector(&self, vec: IrqVector) -> bool {
+        self.virtio.devices.iter().any(|d| d.vector == vec)
+    }
+
+    /// A guest wrote the queue-notify MMIO register of its virtio device:
+    /// publish `payload` on `queue` (the guest-side ring write happens in
+    /// guest memory before the write traps) and enter the hypervisor's
+    /// virtio MMIO handler to run the device model.
+    fn virtio_kick(&mut self, cpu: CpuId, vcpu: VcpuId, queue: u8, payload: u64) -> StepOutcome {
+        let dom_id = self.domain_of(vcpu);
+        let dev = match self.virtio.device_for_dom(dom_id) {
+            Some(d) => d,
+            None => {
+                // No device behind the MMIO address: the write is ignored.
+                self.advance(cpu, self.tuning.idle_quantum);
+                return StepOutcome::Idle;
+            }
+        };
+        let q = (queue as usize).min(nlh_virtio::Q_TX);
+        // A full ring loses the kick (real virtio drivers never notify
+        // without a free descriptor; workloads bound their in-flight ops).
+        let _ = self.virtio.devices[dev].queues[q].submit(payload);
+        let prog = self.build_virtio_notify(cpu, vcpu, dev, q);
+        self.push_frame(cpu, prog);
+        StepOutcome::HvOp
+    }
+
+    /// The virtio MMIO (queue-notify) handler: pop the descriptor, run the
+    /// device model, log and publish the completion, raise the completion
+    /// interrupt — and, for a forwarded net frame, publish the peer port's
+    /// rx fill. Abandoning this program mid-flight is exactly what leaves a
+    /// descriptor stuck avail / in-flight / logged-unpublished /
+    /// used-undelivered for the ring-consistency repair to find.
+    fn build_virtio_notify(&mut self, cpu: CpuId, vcpu: VcpuId, dev: usize, q: usize) -> Program {
+        use MicroOp::*;
+        let d8 = dev as u8;
+        let q8 = q as u8;
+        let mut ops = self.take_buf(cpu);
+        ops.push(AssertNotInIrq);
+        ops.push(Compute); // MMIO decode + virtqueue lookup
+        ops.push(VqPopAvail { dev: d8, q: q8 });
+        ops.push(Compute); // device-model work (grant copy / frame switch)
+        ops.push(VqDeviceWork { dev: d8, q: q8 });
+        ops.push(VqLogComplete { dev: d8, q: q8 });
+        ops.push(Compute);
+        ops.push(VqPushUsed { dev: d8, q: q8 });
+        ops.push(VqRaiseIrq { dev: d8 });
+        let is_net_tx = q == nlh_virtio::Q_TX
+            && self.virtio.devices[dev].kind == nlh_virtio::VirtioDeviceKind::Net;
+        if is_net_tx {
+            // The vswitch filled the peer's rx descriptor during
+            // VqDeviceWork; publish that fill and interrupt the peer.
+            let peer = self.virtio.peer_of(dev) as u8;
+            let rx = nlh_virtio::Q_RX as u8;
+            ops.push(VqLogComplete { dev: peer, q: rx });
+            ops.push(VqPushUsed { dev: peer, q: rx });
+            ops.push(VqRaiseIrq { dev: peer });
+        }
+        ops.push(Compute); // return-to-guest path
+        Program::new(EntryCause::VirtioMmio(vcpu), ops)
+    }
+
+    /// The virtio completion-interrupt handler for `vec`: drain every
+    /// same-vector device's used rings into guest events and wake the
+    /// owners.
+    fn build_virtio_interrupt(&mut self, cpu: CpuId, vec: IrqVector) -> Program {
+        use MicroOp::*;
+        let mut ops = self.take_buf(cpu);
+        ops.push(EnterIrq);
+        ops.push(Compute);
+        ops.push(VqDeliverUsed(vec));
+        ops.push(Eoi(vec));
+        ops.push(Compute);
+        ops.push(LeaveIrq);
+        Program::new(EntryCause::DeviceInterrupt(vec), ops)
+    }
+
+    /// Body of [`MicroOp::VqDeliverUsed`]: deliver used entries of every
+    /// device signalling on `vec`, reposting consumed rx buffers, and
+    /// unblock the owning vCPUs.
+    fn virtio_deliver_used(&mut self, vec: IrqVector) {
+        for di in 0..self.virtio.devices.len() {
+            if self.virtio.devices[di].vector != vec {
+                continue;
+            }
+            let dom = self.virtio.devices[di].dom;
+            let kind = self.virtio.devices[di].kind;
+            let mut delivered_any = false;
+            for qi in 0..2 {
+                while let Some((_, payload)) = self.virtio.devices[di].queues[qi].deliver() {
+                    delivered_any = true;
+                    let ev = match (kind, qi) {
+                        (nlh_virtio::VirtioDeviceKind::Blk, _) => {
+                            GuestEventKind::VirtioBlkDone { req: payload }
+                        }
+                        (nlh_virtio::VirtioDeviceKind::Net, nlh_virtio::Q_RX) => {
+                            // The driver refills its rx ring as it consumes.
+                            let _ = self.virtio.devices[di].queues[nlh_virtio::Q_RX].submit(0);
+                            GuestEventKind::VirtioNetRx { frame: payload }
+                        }
+                        (nlh_virtio::VirtioDeviceKind::Net, _) => {
+                            GuestEventKind::VirtioNetTxDone { frame: payload }
+                        }
+                    };
+                    self.irqs.post_event(dom, ev);
+                }
+            }
+            if delivered_any {
+                let v = self.domains[dom.index()].vcpu;
+                if self.domains[dom.index()].is_active() && self.domains[dom.index()].blocked {
+                    self.domains[dom.index()].blocked = false;
+                    self.sched.enqueue(v);
+                }
+            }
+        }
+    }
+
+    /// Runs the virtqueue ring-consistency repair (the
+    /// `virtqueue_consistency` recovery enhancement) and re-raises the
+    /// completion interrupt for any device left with undelivered used
+    /// entries — the shared "acknowledge interrupts" step runs earlier in
+    /// the recovery order and cleared every pending vector. Touches
+    /// nothing and returns an all-zero report when no devices exist.
+    pub fn virtio_repair(&mut self) -> nlh_virtio::VirtioRepair {
+        let rep = self.virtio.repair();
+        for di in 0..self.virtio.devices.len() {
+            if self.virtio.devices[di].undelivered() > 0 {
+                let vec = self.virtio.devices[di].vector;
+                if let Some(target) = self.irqs.ioapic_route(vec) {
+                    self.irqs.raise(target, vec);
+                }
+            }
+        }
+        rep
     }
 
     fn build_wakeup_switch(&mut self, cpu: CpuId, v: VcpuId) -> Program {
@@ -1864,6 +2061,39 @@ impl Hypervisor {
                 let now = self.cpu_now[i];
                 self.net_replies.push((seq, now));
             }
+            // Virtio ring micro-ops are lenient: on an empty window they do
+            // nothing (a retried or repaired transaction re-runs the whole
+            // handler, and earlier stages may already have drained).
+            MicroOp::VqPopAvail { dev, q } => {
+                if let Some(d) = self.virtio.devices.get_mut(dev as usize) {
+                    d.queues[q as usize & 1].pop_avail();
+                }
+            }
+            MicroOp::VqDeviceWork { dev, q } => {
+                if (dev as usize) < self.virtio.devices.len() {
+                    self.virtio.device_work(dev as usize, q as usize & 1);
+                }
+            }
+            MicroOp::VqLogComplete { dev, q } => {
+                if let Some(d) = self.virtio.devices.get_mut(dev as usize) {
+                    d.queues[q as usize & 1].log_complete();
+                }
+            }
+            MicroOp::VqPushUsed { dev, q } => {
+                if let Some(d) = self.virtio.devices.get_mut(dev as usize) {
+                    d.queues[q as usize & 1].push_used();
+                }
+            }
+            MicroOp::VqRaiseIrq { dev } => {
+                if let Some(d) = self.virtio.devices.get(dev as usize) {
+                    if d.undelivered() > 0 {
+                        if let Some(target) = self.irqs.ioapic_route(d.vector) {
+                            self.irqs.raise(target, d.vector);
+                        }
+                    }
+                }
+            }
+            MicroOp::VqDeliverUsed(vec) => self.virtio_deliver_used(vec),
         }
 
         // Charge cycles and advance. Pure log writes are a store plus a
@@ -2206,7 +2436,7 @@ fn pick_n(rng: &mut Pcg64, pool: &[PageNum], n: usize) -> Vec<PageNum> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::domain::{DomainKind, IdleLoop};
+    use crate::domain::{DomainKind, GuestProgram, IdleLoop};
 
     fn small_hv() -> Hypervisor {
         Hypervisor::new(MachineConfig::small(), 7)
@@ -2435,6 +2665,157 @@ mod tests {
             hv.net_replies.len()
         );
         assert_eq!(hv.net.as_ref().unwrap().drops, 0);
+    }
+
+    /// Minimal virtio guest: one queue-notify kick, then block until the
+    /// matching completion event arrives.
+    #[derive(Debug, Clone)]
+    struct KickOnce {
+        queue: u8,
+        payload: u64,
+        kicked: bool,
+        completed: bool,
+    }
+
+    impl KickOnce {
+        fn new(queue: u8, payload: u64) -> Self {
+            KickOnce {
+                queue,
+                payload,
+                kicked: false,
+                completed: false,
+            }
+        }
+    }
+
+    impl GuestProgram for KickOnce {
+        fn name(&self) -> &str {
+            "KickOnce"
+        }
+        fn next_op(&mut self, _now: SimTime, _rng: &mut Pcg64) -> GuestOp {
+            if !self.kicked {
+                self.kicked = true;
+                GuestOp::VirtioKick {
+                    queue: self.queue,
+                    payload: self.payload,
+                }
+            } else if self.completed {
+                GuestOp::Done
+            } else {
+                GuestOp::Block
+            }
+        }
+        fn notice(&mut self, _now: SimTime, notice: GuestNotice) {
+            if let GuestNotice::Event(
+                GuestEventKind::VirtioBlkDone { .. } | GuestEventKind::VirtioNetTxDone { .. },
+            ) = notice
+            {
+                self.completed = true;
+            }
+        }
+        fn verdict(&self, _now: SimTime, _deadline: SimTime) -> crate::domain::WorkloadVerdict {
+            if self.completed {
+                crate::domain::WorkloadVerdict::CompletedOk
+            } else {
+                crate::domain::WorkloadVerdict::Failed(crate::domain::FailReason::Incomplete)
+            }
+        }
+        fn clone_box(&self) -> Box<dyn GuestProgram> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn virtio_blk_kick_completes_and_delivers() {
+        let mut hv = small_hv();
+        let dom = hv.add_boot_domain(DomainSpec {
+            kind: DomainKind::App,
+            pages: 32,
+            pinned_cpu: CpuId(1),
+            program: Box::new(KickOnce::new(nlh_virtio::Q_RX as u8, 42)),
+        });
+        hv.add_virtio_blk(dom);
+        hv.run_for(SimDuration::from_millis(50));
+        assert!(hv.detection().is_none());
+        assert!(hv.domains[dom.index()].finished, "completion delivered");
+        let q = &hv.virtio.devices[0].queues[nlh_virtio::Q_RX];
+        assert_eq!(q.avail_idx(), 1);
+        assert_eq!(q.used_idx(), 1);
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.undelivered(), 0);
+        assert!(hv.virtio.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn vswitch_forwards_and_interrupts_peer() {
+        let mut hv = small_hv();
+        let d1 = hv.add_boot_domain(DomainSpec {
+            kind: DomainKind::App,
+            pages: 32,
+            pinned_cpu: CpuId(1),
+            program: Box::new(KickOnce::new(nlh_virtio::Q_TX as u8, 7)),
+        });
+        let d2 = hv.add_boot_domain(app_spec(2));
+        let p1 = hv.add_virtio_net(d1);
+        let p2 = hv.add_virtio_net(d2);
+        hv.connect_vswitch(p1, p2);
+        hv.run_for(SimDuration::from_millis(50));
+        assert!(hv.detection().is_none());
+        assert_eq!(hv.virtio.forwarded, 1, "frame crossed the vswitch");
+        assert_eq!(hv.virtio.dropped_no_buffer, 0);
+        assert!(hv.domains[d1.index()].finished, "tx completion delivered");
+        let rx = &hv.virtio.devices[p2].queues[nlh_virtio::Q_RX];
+        assert_eq!(rx.undelivered(), 0, "peer rx frame delivered");
+        assert_eq!(
+            rx.avail_pending(),
+            nlh_virtio::QUEUE_SIZE as u64,
+            "consumed rx buffer reposted"
+        );
+        assert!(hv.virtio.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn abandoned_notify_leaves_residue_repair_completes_it() {
+        let mut hv = small_hv();
+        let dom = hv.add_boot_domain(DomainSpec {
+            kind: DomainKind::App,
+            pages: 32,
+            pinned_cpu: CpuId(1),
+            program: Box::new(KickOnce::new(nlh_virtio::Q_RX as u8, 9)),
+        });
+        hv.add_virtio_blk(dom);
+        // Step until the notify handler has popped the descriptor but not
+        // yet logged its completion (pc 3/4 = the in-flight window).
+        let mut guard = 0;
+        loop {
+            hv.step_any();
+            guard += 1;
+            assert!(guard < 500_000, "never reached the virtio MMIO handler");
+            if let Some((EntryCause::VirtioMmio(_), pc)) = hv.cpu_program_context(CpuId(1)) {
+                if pc == 3 {
+                    break;
+                }
+            }
+        }
+        // Microreset strikes: abandon everything mid-transaction.
+        hv.discard_all_stacks();
+        assert_eq!(hv.virtio.devices[0].queues[nlh_virtio::Q_RX].in_flight(), 1);
+        let rep = hv.virtio_repair();
+        assert_eq!(rep.reprocessed, 1, "in-flight request re-executed");
+        assert_eq!(hv.virtio.devices[0].queues[nlh_virtio::Q_RX].in_flight(), 0);
+        assert!(
+            hv.virtio.devices[0].undelivered() > 0,
+            "completion published, awaiting delivery"
+        );
+        assert!(
+            hv.irqs.is_pending(CpuId(1), VEC_BLK),
+            "repair re-raised the completion interrupt"
+        );
+        assert_eq!(hv.virtio_repair().total(), 0, "repair is idempotent");
+        hv.resume_after(SimDuration::from_millis(22));
+        hv.run_for(SimDuration::from_millis(50));
+        assert!(hv.domains[dom.index()].finished, "guest saw the completion");
+        assert!(hv.virtio.check_invariants().is_ok());
     }
 
     #[test]

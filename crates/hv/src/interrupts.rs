@@ -41,6 +41,21 @@ pub enum GuestEventKind {
     },
     /// The domain's periodic virtual timer fired.
     TimerVirq,
+    /// A virtio-blk request completed (used-ring entry delivered).
+    VirtioBlkDone {
+        /// Request id (the descriptor's payload).
+        req: u64,
+    },
+    /// A virtio-net frame arrived in the domain's rx queue.
+    VirtioNetRx {
+        /// Frame sequence number.
+        frame: u64,
+    },
+    /// A virtio-net tx descriptor was consumed (frame sent).
+    VirtioNetTxDone {
+        /// Frame sequence number.
+        frame: u64,
+    },
 }
 
 /// Number of distinct hardware vectors the simulation models.

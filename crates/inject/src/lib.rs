@@ -194,6 +194,7 @@ pub struct Injector {
     phase: Phase,
     ops_budget: u64,
     ops_range: (u64, u64),
+    only_handler: Option<HandlerKind>,
     outcome: Option<InjectionOutcome>,
     injected_on: Option<CpuId>,
     point: Option<InjectionPoint>,
@@ -246,6 +247,7 @@ impl Injector {
             phase: Phase::Waiting,
             ops_budget,
             ops_range,
+            only_handler: None,
             outcome: None,
             injected_on: None,
             point: None,
@@ -280,6 +282,22 @@ impl Injector {
     /// The range the micro-op budget was drawn from.
     pub fn ops_range(&self) -> (u64, u64) {
         self.ops_range
+    }
+
+    /// Restricts injection to steps executing inside the given handler
+    /// family: once the micro-op budget is spent, the armed injector keeps
+    /// waiting until the stepped CPU is mid-program in a matching handler —
+    /// the mid-transaction fault windows the device campaigns target. The
+    /// filter draws no extra randomness, so a steered trial replays
+    /// bit-identically from the same seed and range.
+    pub fn steer_to_handler(mut self, handler: HandlerKind) -> Self {
+        self.only_handler = Some(handler);
+        self
+    }
+
+    /// The handler filter, if the injector was steered.
+    pub fn steered_handler(&self) -> Option<HandlerKind> {
+        self.only_handler
     }
 
     /// Where the fault landed (handler, op index, CPU, time), once
@@ -331,6 +349,12 @@ impl Injector {
                     // execution, accounted to the next entry here.
                     if !hv.cpu_mid_program(cpu) {
                         return false;
+                    }
+                    if let Some(filter) = self.only_handler {
+                        let here = hv.cpu_program_context(cpu).map(|(c, _)| c.handler_kind());
+                        if here != Some(filter) {
+                            return false;
+                        }
                     }
                     self.inject(hv, cpu);
                     true
@@ -490,6 +514,25 @@ mod tests {
             assert!(!inj.on_step(&mut hv, cpu, out));
         }
         assert!(inj.outcome().is_none());
+    }
+
+    #[test]
+    fn steered_injection_lands_in_matching_handler() {
+        let mut hv = Hypervisor::new(MachineConfig::small(), 9);
+        let mut inj = Injector::new(FaultType::Failstop, 9, window(), 50)
+            .steer_to_handler(HandlerKind::TimerInterrupt);
+        let deadline = SimTime::from_secs(3);
+        while hv.detection().is_none() && hv.now() < deadline {
+            let (cpu, out) = hv.step_any();
+            inj.on_step(&mut hv, cpu, out);
+        }
+        let point = inj.injection_point().expect("steered fault must land");
+        assert_eq!(point.handler, HandlerKind::TimerInterrupt);
+        // Steering consumes no randomness: the trigger draws match an
+        // unsteered twin.
+        let twin = Injector::new(FaultType::Failstop, 9, window(), 50);
+        assert_eq!(inj.fire_at(), twin.fire_at());
+        assert_eq!(inj.ops_budget(), twin.ops_budget());
     }
 
     #[test]

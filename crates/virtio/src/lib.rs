@@ -1,0 +1,815 @@
+//! Virtio-style paravirtual device models (descriptor-ring virtqueues).
+//!
+//! The paper's evaluation never stresses device-transaction state
+//! mid-flight; ReHype's original work shows that recovering a virtualized
+//! system hinges on re-establishing consistency of in-flight I/O. This
+//! crate supplies the missing scenario family: split-driver devices whose
+//! guest/device handshake runs over **descriptor rings**, so an injected
+//! fault can strike *between* the individual ring updates of a transaction
+//! and leave the rings inconsistent — the residue the microreset
+//! virtqueue-consistency enhancement exists to repair.
+//!
+//! # Ring layout
+//!
+//! A [`Virtqueue`] models a virtio split ring with [`QUEUE_SIZE`]
+//! descriptors. Each descriptor carries one `u64` payload (a block request
+//! id or a frame sequence number) and sits in exactly one state:
+//!
+//! ```text
+//!  Free ─submit→ Avail ─pop_avail→ InFlight ─log_complete→ Logged
+//!    ↑                                                        │
+//!    └────────────── deliver ←─ Used ←─ push_used ────────────┘
+//! ```
+//!
+//! * **Avail** — in the guest→device available ring, awaiting the device.
+//! * **InFlight** — popped by the device model, being processed.
+//! * **Logged** — completion recorded in the device's completion log but
+//!   not yet published to the used ring (the window the paper's batched
+//!   completion logging closes for hypercalls, reproduced here for rings).
+//! * **Used** — published in the device→guest used ring, interrupt not yet
+//!   delivered / not yet consumed by the guest.
+//!
+//! All cursors (`avail_idx`, `used_idx`, …) are free-running `u64`s, as in
+//! real virtio; ring slots are the cursor modulo [`QUEUE_SIZE`]. The two
+//! pinned invariants (see [`Virtqueue::check_invariants`]):
+//! `used_idx <= avail_idx`, and no descriptor is in two ring windows at
+//! once (in particular never both in-flight and completed).
+//!
+//! # Devices and the vswitch
+//!
+//! [`VirtioDevice`] is a virtio-blk (one request queue) or virtio-net (an
+//! rx buffer queue + a tx queue) function assigned to one guest domain.
+//! [`VirtioState`] owns all devices plus the virtual switch: a port map
+//! forwarding each net device's tx frames into its peer's rx queue (or
+//! looping back to its own when unconnected). Everything is fixed-capacity
+//! after setup — the datapath (`submit`/`pop_avail`/…/`deliver`) performs
+//! no heap allocation, which the `nlh-bench` zero-alloc guard pins.
+//!
+//! # Repair
+//!
+//! [`VirtioState::repair`] is the post-microreset ring-consistency pass:
+//! it reconciles each queue's used index against the completion log
+//! (publishing logged-but-unpublished completions), re-executes
+//! request-queue descriptors abandoned in flight (block requests complete
+//! administratively, tx frames are re-forwarded through the vswitch), and
+//! cancels rx buffers caught mid-fill (returning them to the available
+//! ring; the torn frame is dropped). Transmit completions are therefore
+//! exactly-once and receive delivery at-most-once across a microreset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nlh_sim::{DomId, IrqVector};
+
+/// Descriptors per virtqueue. Real virtio rings are 256+; 16 keeps the
+/// state small enough to clone per trial while still letting many
+/// transactions ride the ring concurrently.
+pub const QUEUE_SIZE: usize = 16;
+
+/// The receive (buffer) queue of a virtio-net device, and the only queue
+/// of a virtio-blk device.
+pub const Q_RX: usize = 0;
+/// The transmit queue of a virtio-net device.
+pub const Q_TX: usize = 1;
+
+/// Where a descriptor currently sits (see the crate docs for the ring
+/// diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescState {
+    /// Owned by the guest; not in any ring window.
+    Free,
+    /// In the available ring, waiting for the device.
+    Avail,
+    /// Popped by the device model; processing in progress.
+    InFlight,
+    /// Completion recorded in the device's log, not yet published.
+    Logged,
+    /// Published in the used ring, not yet delivered to the guest.
+    Used,
+}
+
+/// What a queue's available entries mean — which half of the split driver
+/// initiates work on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueRole {
+    /// Guest-initiated requests (blk requests, net tx frames): an avail
+    /// entry is work the device must finish. Repair re-executes these.
+    Request,
+    /// Guest-posted empty buffers (net rx): an avail entry is *capacity*,
+    /// legitimately parked until traffic arrives. Repair must not
+    /// force-complete these.
+    Buffer,
+}
+
+/// One split-ring virtqueue with a per-descriptor state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Virtqueue {
+    role: QueueRole,
+    payload: [u64; QUEUE_SIZE],
+    state: [DescState; QUEUE_SIZE],
+    /// Guest→device ring: slots `[avail_head, avail_idx)` hold Avail descs.
+    avail_ring: [u8; QUEUE_SIZE],
+    avail_head: u64,
+    avail_idx: u64,
+    /// Device-internal FIFO of in-flight descriptors.
+    inflight_ring: [u8; QUEUE_SIZE],
+    inflight_head: u64,
+    inflight_idx: u64,
+    /// Completion log: completed but not yet published to the used ring.
+    log_ring: [u8; QUEUE_SIZE],
+    log_head: u64,
+    log_idx: u64,
+    /// Device→guest ring: slots `[used_head, used_idx)` hold Used descs.
+    used_ring: [u8; QUEUE_SIZE],
+    used_head: u64,
+    used_idx: u64,
+}
+
+impl Virtqueue {
+    /// An empty queue; every descriptor starts Free.
+    pub fn new(role: QueueRole) -> Self {
+        Virtqueue {
+            role,
+            payload: [0; QUEUE_SIZE],
+            state: [DescState::Free; QUEUE_SIZE],
+            avail_ring: [0; QUEUE_SIZE],
+            avail_head: 0,
+            avail_idx: 0,
+            inflight_ring: [0; QUEUE_SIZE],
+            inflight_head: 0,
+            inflight_idx: 0,
+            log_ring: [0; QUEUE_SIZE],
+            log_head: 0,
+            log_idx: 0,
+            used_ring: [0; QUEUE_SIZE],
+            used_head: 0,
+            used_idx: 0,
+        }
+    }
+
+    /// This queue's role.
+    pub fn role(&self) -> QueueRole {
+        self.role
+    }
+
+    /// Free-running guest submission cursor.
+    pub fn avail_idx(&self) -> u64 {
+        self.avail_idx
+    }
+
+    /// Free-running device publish cursor.
+    pub fn used_idx(&self) -> u64 {
+        self.used_idx
+    }
+
+    /// Available entries not yet popped by the device.
+    pub fn avail_pending(&self) -> u64 {
+        self.avail_idx - self.avail_head
+    }
+
+    /// Descriptors popped but neither logged nor published.
+    pub fn in_flight(&self) -> u64 {
+        self.inflight_idx - self.inflight_head
+    }
+
+    /// Completions logged but not yet published to the used ring.
+    pub fn logged_unpublished(&self) -> u64 {
+        self.log_idx - self.log_head
+    }
+
+    /// Used entries published but not yet delivered to the guest.
+    pub fn undelivered(&self) -> u64 {
+        self.used_idx - self.used_head
+    }
+
+    /// Descriptors in the Free state.
+    pub fn free_slots(&self) -> usize {
+        self.state.iter().filter(|s| **s == DescState::Free).count()
+    }
+
+    /// The payload of a descriptor (valid for any non-Free descriptor).
+    pub fn payload(&self, desc: u8) -> u64 {
+        self.payload[desc as usize]
+    }
+
+    /// Guest side: place a payload in a free descriptor and push it onto
+    /// the available ring. Returns the descriptor index, or `None` when
+    /// the ring is full.
+    pub fn submit(&mut self, payload: u64) -> Option<u8> {
+        let desc = self.state.iter().position(|s| *s == DescState::Free)? as u8;
+        self.payload[desc as usize] = payload;
+        self.state[desc as usize] = DescState::Avail;
+        self.avail_ring[(self.avail_idx % QUEUE_SIZE as u64) as usize] = desc;
+        self.avail_idx += 1;
+        Some(desc)
+    }
+
+    /// Device side: pop the oldest available descriptor into InFlight.
+    pub fn pop_avail(&mut self) -> Option<u8> {
+        if self.avail_head == self.avail_idx {
+            return None;
+        }
+        let desc = self.avail_ring[(self.avail_head % QUEUE_SIZE as u64) as usize];
+        self.avail_head += 1;
+        debug_assert_eq!(self.state[desc as usize], DescState::Avail);
+        self.state[desc as usize] = DescState::InFlight;
+        self.inflight_ring[(self.inflight_idx % QUEUE_SIZE as u64) as usize] = desc;
+        self.inflight_idx += 1;
+        Some(desc)
+    }
+
+    /// The oldest in-flight descriptor, if any (the one the device model
+    /// is working on).
+    pub fn peek_inflight(&self) -> Option<u8> {
+        if self.inflight_head == self.inflight_idx {
+            return None;
+        }
+        Some(self.inflight_ring[(self.inflight_head % QUEUE_SIZE as u64) as usize])
+    }
+
+    /// Device side: record the oldest in-flight descriptor's completion in
+    /// the log (not yet visible to the guest).
+    pub fn log_complete(&mut self) -> Option<u8> {
+        if self.inflight_head == self.inflight_idx {
+            return None;
+        }
+        let desc = self.inflight_ring[(self.inflight_head % QUEUE_SIZE as u64) as usize];
+        self.inflight_head += 1;
+        debug_assert_eq!(self.state[desc as usize], DescState::InFlight);
+        self.state[desc as usize] = DescState::Logged;
+        self.log_ring[(self.log_idx % QUEUE_SIZE as u64) as usize] = desc;
+        self.log_idx += 1;
+        Some(desc)
+    }
+
+    /// Device side: publish the oldest logged completion to the used ring.
+    pub fn push_used(&mut self) -> Option<u8> {
+        if self.log_head == self.log_idx {
+            return None;
+        }
+        let desc = self.log_ring[(self.log_head % QUEUE_SIZE as u64) as usize];
+        self.log_head += 1;
+        debug_assert_eq!(self.state[desc as usize], DescState::Logged);
+        self.state[desc as usize] = DescState::Used;
+        self.used_ring[(self.used_idx % QUEUE_SIZE as u64) as usize] = desc;
+        self.used_idx += 1;
+        Some(desc)
+    }
+
+    /// Guest side: consume the oldest used entry. The descriptor returns
+    /// to Free; its payload is returned alongside its index.
+    pub fn deliver(&mut self) -> Option<(u8, u64)> {
+        if self.used_head == self.used_idx {
+            return None;
+        }
+        let desc = self.used_ring[(self.used_head % QUEUE_SIZE as u64) as usize];
+        self.used_head += 1;
+        debug_assert_eq!(self.state[desc as usize], DescState::Used);
+        self.state[desc as usize] = DescState::Free;
+        Some((desc, self.payload[desc as usize]))
+    }
+
+    /// Repair: publish an in-flight descriptor straight to the used ring,
+    /// bypassing the (abandoned) log step. Used when repair re-executes a
+    /// request caught mid-transaction.
+    fn force_complete(&mut self, desc: u8) {
+        debug_assert_eq!(self.state[desc as usize], DescState::InFlight);
+        self.state[desc as usize] = DescState::Used;
+        self.used_ring[(self.used_idx % QUEUE_SIZE as u64) as usize] = desc;
+        self.used_idx += 1;
+    }
+
+    /// Repair: pop the oldest in-flight descriptor without completing it.
+    fn take_inflight(&mut self) -> Option<u8> {
+        if self.inflight_head == self.inflight_idx {
+            return None;
+        }
+        let desc = self.inflight_ring[(self.inflight_head % QUEUE_SIZE as u64) as usize];
+        self.inflight_head += 1;
+        Some(desc)
+    }
+
+    /// Repair: return a cancelled in-flight descriptor to the available
+    /// ring (an rx buffer whose fill was abandoned; the torn frame is
+    /// dropped, the capacity is not).
+    fn requeue(&mut self, desc: u8) {
+        debug_assert_eq!(self.state[desc as usize], DescState::InFlight);
+        self.payload[desc as usize] = 0;
+        self.state[desc as usize] = DescState::Avail;
+        self.avail_ring[(self.avail_idx % QUEUE_SIZE as u64) as usize] = desc;
+        self.avail_idx += 1;
+    }
+
+    /// Checks the two pinned ring invariants plus full window/state
+    /// consistency; returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.used_idx > self.avail_idx {
+            return Err(format!(
+                "used_idx {} > avail_idx {}",
+                self.used_idx, self.avail_idx
+            ));
+        }
+        let windows: [(&str, &[u8; QUEUE_SIZE], u64, u64, DescState); 4] = [
+            (
+                "avail",
+                &self.avail_ring,
+                self.avail_head,
+                self.avail_idx,
+                DescState::Avail,
+            ),
+            (
+                "inflight",
+                &self.inflight_ring,
+                self.inflight_head,
+                self.inflight_idx,
+                DescState::InFlight,
+            ),
+            (
+                "log",
+                &self.log_ring,
+                self.log_head,
+                self.log_idx,
+                DescState::Logged,
+            ),
+            (
+                "used",
+                &self.used_ring,
+                self.used_head,
+                self.used_idx,
+                DescState::Used,
+            ),
+        ];
+        let mut seen = [false; QUEUE_SIZE];
+        for (name, ring, head, idx, want) in windows {
+            if idx - head > QUEUE_SIZE as u64 {
+                return Err(format!("{name} window longer than the ring"));
+            }
+            for i in head..idx {
+                let desc = ring[(i % QUEUE_SIZE as u64) as usize] as usize;
+                if seen[desc] {
+                    // In particular: a descriptor both in-flight and
+                    // completed would trip here.
+                    return Err(format!("desc {desc} in two ring windows ({name})"));
+                }
+                seen[desc] = true;
+                if self.state[desc] != want {
+                    return Err(format!(
+                        "desc {desc} in {name} window but state {:?}",
+                        self.state[desc]
+                    ));
+                }
+            }
+        }
+        for (desc, s) in self.state.iter().enumerate() {
+            if *s != DescState::Free && !seen[desc] {
+                return Err(format!("desc {desc} state {s:?} but in no window"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The device function a [`VirtioDevice`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtioDeviceKind {
+    /// virtio-blk: one request queue backed by the PrivVM's grant-backed
+    /// block segments.
+    Blk,
+    /// virtio-net: an rx buffer queue and a tx queue, attached to the
+    /// vswitch.
+    Net,
+}
+
+/// One virtio device function, assigned to a guest domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtioDevice {
+    /// The owning guest.
+    pub dom: DomId,
+    /// Blk or net.
+    pub kind: VirtioDeviceKind,
+    /// The interrupt vector this device raises (assigned by the
+    /// hypervisor at creation).
+    pub vector: IrqVector,
+    /// `queues[Q_RX]` and, for net, `queues[Q_TX]`. Blk uses `Q_RX` as its
+    /// single request queue.
+    pub queues: [Virtqueue; 2],
+}
+
+impl VirtioDevice {
+    /// Creates a device. Net devices pre-post every rx descriptor as an
+    /// empty receive buffer, as a real driver does at probe time.
+    pub fn new(dom: DomId, kind: VirtioDeviceKind, vector: IrqVector) -> Self {
+        let queues = match kind {
+            VirtioDeviceKind::Blk => [
+                Virtqueue::new(QueueRole::Request),
+                Virtqueue::new(QueueRole::Request),
+            ],
+            VirtioDeviceKind::Net => [
+                Virtqueue::new(QueueRole::Buffer),
+                Virtqueue::new(QueueRole::Request),
+            ],
+        };
+        let mut dev = VirtioDevice {
+            dom,
+            kind,
+            vector,
+            queues,
+        };
+        if kind == VirtioDeviceKind::Net {
+            while dev.queues[Q_RX].submit(0).is_some() {}
+        }
+        dev
+    }
+
+    /// Used entries not yet delivered to the guest, over all queues.
+    pub fn undelivered(&self) -> u64 {
+        self.queues.iter().map(|q| q.undelivered()).sum()
+    }
+
+    /// Checks every queue's invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, q) in self.queues.iter().enumerate() {
+            q.check_invariants()
+                .map_err(|e| format!("dom{} queue {i}: {e}", self.dom.index()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters of one ring-consistency repair pass (reported in the recovery
+/// step and the campaign telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtioRepair {
+    /// Logged completions published to their used ring (used-index vs
+    /// completion-log reconciliation).
+    pub republished: u64,
+    /// Abandoned request descriptors re-executed to completion (blk
+    /// requests completed administratively, tx frames re-forwarded).
+    pub reprocessed: u64,
+    /// Rx buffers caught mid-fill, cancelled and returned to the
+    /// available ring (the torn frame is dropped).
+    pub cancelled: u64,
+}
+
+impl VirtioRepair {
+    /// Total ring entries the pass touched.
+    pub fn total(&self) -> u64 {
+        self.republished + self.reprocessed + self.cancelled
+    }
+}
+
+/// All virtio devices of one machine, plus the virtual switch connecting
+/// the net devices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirtioState {
+    /// The device functions, in creation order.
+    pub devices: Vec<VirtioDevice>,
+    /// vswitch port map: `peers[i]` is the device index tx frames of
+    /// device `i` are forwarded to. `None` loops back to device `i`'s own
+    /// rx queue (an unconnected port under test).
+    pub peers: Vec<Option<usize>>,
+    /// Frames forwarded guest-to-guest through the vswitch.
+    pub forwarded: u64,
+    /// Frames dropped because the destination rx ring had no buffer.
+    pub dropped_no_buffer: u64,
+    /// Frames dropped by repair (rx fill abandoned mid-transaction).
+    pub dropped_torn: u64,
+}
+
+impl VirtioState {
+    /// No devices.
+    pub fn new() -> Self {
+        VirtioState::default()
+    }
+
+    /// Whether any devices exist (the recovery gate: repair must be a
+    /// no-op on machines without virtio devices).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Adds a device, returning its index.
+    pub fn add_device(&mut self, dev: VirtioDevice) -> usize {
+        self.devices.push(dev);
+        self.peers.push(None);
+        self.devices.len() - 1
+    }
+
+    /// Cross-connects two vswitch ports: `a`'s tx goes to `b`'s rx and
+    /// vice versa.
+    pub fn connect(&mut self, a: usize, b: usize) {
+        self.peers[a] = Some(b);
+        self.peers[b] = Some(a);
+    }
+
+    /// The device owned by `dom`, if any.
+    pub fn device_for_dom(&self, dom: DomId) -> Option<usize> {
+        self.devices.iter().position(|d| d.dom == dom)
+    }
+
+    /// The vswitch destination of device `dev`'s tx frames.
+    pub fn peer_of(&self, dev: usize) -> usize {
+        self.peers[dev].unwrap_or(dev)
+    }
+
+    /// Device-model work on the oldest in-flight descriptor of
+    /// `(dev, q)`. Blk requests need no ring mutation (the storage latency
+    /// is modelled by the surrounding micro-ops); net tx frames are
+    /// forwarded through the vswitch into the peer's rx queue — popping an
+    /// rx buffer into InFlight with the frame as payload, or dropping the
+    /// frame when no buffer is available.
+    pub fn device_work(&mut self, dev: usize, q: usize) {
+        let Some(desc) = self.devices[dev].queues[q].peek_inflight() else {
+            return;
+        };
+        if self.devices[dev].kind == VirtioDeviceKind::Net && q == Q_TX {
+            let frame = self.devices[dev].queues[q].payload(desc);
+            self.forward(dev, frame);
+        }
+    }
+
+    /// Forwards one frame from device `dev` into its peer's rx queue
+    /// (fill started: the buffer goes InFlight; publication is separate
+    /// micro-ops, so a fault can strike mid-fill).
+    fn forward(&mut self, dev: usize, frame: u64) {
+        let peer = self.peer_of(dev);
+        match self.devices[peer].queues[Q_RX].pop_avail() {
+            Some(buf) => {
+                self.devices[peer].queues[Q_RX].payload[buf as usize] = frame;
+                self.forwarded += 1;
+            }
+            None => self.dropped_no_buffer += 1,
+        }
+    }
+
+    /// The post-microreset ring-consistency pass (the
+    /// `virtqueue_consistency` enhancement). See the crate docs for the
+    /// algorithm; returns what it touched. Idempotent: a second pass on a
+    /// repaired state touches nothing.
+    pub fn repair(&mut self) -> VirtioRepair {
+        let mut r = VirtioRepair::default();
+        // 1. Reconcile used index vs completion log: publish every logged
+        //    completion (the work was done; only publication was lost).
+        for dev in &mut self.devices {
+            for q in &mut dev.queues {
+                while q.push_used().is_some() {
+                    r.republished += 1;
+                }
+            }
+        }
+        // 2. Cancel rx buffers caught mid-fill. Their frame may be torn,
+        //    so the buffer returns to the available ring and the frame is
+        //    dropped (at-most-once delivery across recovery).
+        for dev in &mut self.devices {
+            let rx = &mut dev.queues[Q_RX];
+            if rx.role() == QueueRole::Buffer {
+                while let Some(desc) = rx.take_inflight() {
+                    rx.requeue(desc);
+                    r.cancelled += 1;
+                    self.dropped_torn += 1;
+                }
+            }
+        }
+        // 3. Re-execute abandoned requests: anything in flight, plus
+        //    anything still available whose kick was discarded before the
+        //    device popped it. Tx frames re-forward through the vswitch
+        //    (into rings step 2 already made consistent); completions are
+        //    published directly (tx completion is exactly-once).
+        for dev in 0..self.devices.len() {
+            for q in 0..self.devices[dev].queues.len() {
+                if self.devices[dev].queues[q].role() != QueueRole::Request {
+                    continue;
+                }
+                loop {
+                    let desc = match self.devices[dev].queues[q].take_inflight() {
+                        Some(d) => Some(d),
+                        None => self.devices[dev].queues[q].pop_avail().inspect(|&d| {
+                            // pop_avail moved it into the in-flight FIFO;
+                            // consume that entry so the windows stay
+                            // disjoint.
+                            let taken = self.devices[dev].queues[q].take_inflight();
+                            debug_assert_eq!(taken, Some(d));
+                        }),
+                    };
+                    let Some(desc) = desc else { break };
+                    if self.devices[dev].kind == VirtioDeviceKind::Net && q == Q_TX {
+                        let frame = self.devices[dev].queues[q].payload(desc);
+                        self.forward(dev, frame);
+                        // Publish the peer-side fill immediately: repair
+                        // runs with the machine parked, so the usual
+                        // log/publish micro-ops cannot run.
+                        let peer = self.peer_of(dev);
+                        while self.devices[peer].queues[Q_RX].log_complete().is_some() {}
+                        while self.devices[peer].queues[Q_RX].push_used().is_some() {}
+                    }
+                    self.devices[dev].queues[q].force_complete(desc);
+                    r.reprocessed += 1;
+                }
+            }
+        }
+        r
+    }
+
+    /// Checks every device's ring invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for dev in &self.devices {
+            dev.check_invariants()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk() -> VirtioState {
+        let mut s = VirtioState::new();
+        s.add_device(VirtioDevice::new(
+            DomId(1),
+            VirtioDeviceKind::Blk,
+            IrqVector(2),
+        ));
+        s
+    }
+
+    /// Two net devices cross-connected through the vswitch.
+    fn net_pair() -> VirtioState {
+        let mut s = VirtioState::new();
+        let a = s.add_device(VirtioDevice::new(
+            DomId(1),
+            VirtioDeviceKind::Net,
+            IrqVector(1),
+        ));
+        let b = s.add_device(VirtioDevice::new(
+            DomId(2),
+            VirtioDeviceKind::Net,
+            IrqVector(1),
+        ));
+        s.connect(a, b);
+        s
+    }
+
+    /// Runs a full transaction on (dev, q) the way the notify program's
+    /// micro-ops do.
+    fn full_transaction(s: &mut VirtioState, dev: usize, q: usize, payload: u64) {
+        s.devices[dev].queues[q].submit(payload).unwrap();
+        s.devices[dev].queues[q].pop_avail().unwrap();
+        s.device_work(dev, q);
+        s.devices[dev].queues[q].log_complete().unwrap();
+        s.devices[dev].queues[q].push_used().unwrap();
+    }
+
+    #[test]
+    fn blk_transaction_round_trips() {
+        let mut s = blk();
+        full_transaction(&mut s, 0, Q_RX, 77);
+        let (_, payload) = s.devices[0].queues[Q_RX].deliver().unwrap();
+        assert_eq!(payload, 77);
+        assert_eq!(s.devices[0].queues[Q_RX].free_slots(), QUEUE_SIZE);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ring_fills_and_rejects_overflow() {
+        let mut q = Virtqueue::new(QueueRole::Request);
+        for i in 0..QUEUE_SIZE as u64 {
+            assert!(q.submit(i).is_some());
+        }
+        assert_eq!(q.submit(99), None);
+        assert_eq!(q.avail_idx(), QUEUE_SIZE as u64);
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn vswitch_forwards_between_peers() {
+        let mut s = net_pair();
+        full_transaction(&mut s, 0, Q_TX, 1001);
+        // Publish the peer-side fill (as the notify program's trailing
+        // micro-ops do).
+        s.devices[1].queues[Q_RX].log_complete().unwrap();
+        s.devices[1].queues[Q_RX].push_used().unwrap();
+        assert_eq!(s.forwarded, 1);
+        let (_, frame) = s.devices[1].queues[Q_RX].deliver().unwrap();
+        assert_eq!(frame, 1001);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unconnected_port_loops_back() {
+        let mut s = VirtioState::new();
+        s.add_device(VirtioDevice::new(
+            DomId(1),
+            VirtioDeviceKind::Net,
+            IrqVector(1),
+        ));
+        full_transaction(&mut s, 0, Q_TX, 5);
+        s.devices[0].queues[Q_RX].log_complete().unwrap();
+        s.devices[0].queues[Q_RX].push_used().unwrap();
+        let (_, frame) = s.devices[0].queues[Q_RX].deliver().unwrap();
+        assert_eq!(frame, 5);
+    }
+
+    #[test]
+    fn forward_without_rx_buffers_drops() {
+        let mut s = net_pair();
+        // Exhaust the peer's rx buffers.
+        while s.devices[1].queues[Q_RX].pop_avail().is_some() {}
+        full_transaction(&mut s, 0, Q_TX, 1);
+        assert_eq!(s.dropped_no_buffer, 1);
+        assert_eq!(s.forwarded, 0);
+    }
+
+    #[test]
+    fn repair_publishes_logged_unpublished() {
+        let mut s = blk();
+        let q = &mut s.devices[0].queues[Q_RX];
+        q.submit(1).unwrap();
+        q.pop_avail().unwrap();
+        q.log_complete().unwrap();
+        // Abandoned before push_used.
+        let r = s.repair();
+        assert_eq!(r.republished, 1);
+        assert_eq!(s.devices[0].queues[Q_RX].undelivered(), 1);
+        s.check_invariants().unwrap();
+        assert_eq!(s.repair(), VirtioRepair::default(), "repair is idempotent");
+    }
+
+    #[test]
+    fn repair_reexecutes_inflight_requests() {
+        let mut s = blk();
+        let q = &mut s.devices[0].queues[Q_RX];
+        q.submit(7).unwrap();
+        q.pop_avail().unwrap();
+        // Abandoned mid-processing.
+        let r = s.repair();
+        assert_eq!(r.reprocessed, 1);
+        let (_, payload) = s.devices[0].queues[Q_RX].deliver().unwrap();
+        assert_eq!(payload, 7, "request completed with its own payload");
+    }
+
+    #[test]
+    fn repair_drains_unpopped_requests() {
+        let mut s = blk();
+        s.devices[0].queues[Q_RX].submit(9).unwrap();
+        // Kick discarded before the device popped the descriptor.
+        let r = s.repair();
+        assert_eq!(r.reprocessed, 1);
+        assert_eq!(s.devices[0].queues[Q_RX].undelivered(), 1);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repair_cancels_torn_rx_fill() {
+        let mut s = net_pair();
+        // A tx whose forward started (peer rx buffer popped, payload
+        // written) but whose completion micro-ops were all abandoned.
+        s.devices[0].queues[Q_TX].submit(42).unwrap();
+        s.devices[0].queues[Q_TX].pop_avail().unwrap();
+        s.device_work(0, Q_TX);
+        let before = s.devices[1].queues[Q_RX].avail_pending();
+        let r = s.repair();
+        // The torn rx fill is cancelled, then the tx re-executes and
+        // re-forwards into the freshly returned buffer.
+        assert_eq!(r.cancelled, 1);
+        assert_eq!(r.reprocessed, 1);
+        assert_eq!(s.dropped_torn, 1);
+        assert_eq!(s.devices[0].queues[Q_TX].undelivered(), 1);
+        assert_eq!(s.devices[1].queues[Q_RX].undelivered(), 1);
+        assert_eq!(
+            s.devices[1].queues[Q_RX].avail_pending(),
+            before,
+            "cancel returned one buffer, the re-forwarded frame took one"
+        );
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repair_on_empty_state_is_noop() {
+        let mut s = VirtioState::new();
+        assert_eq!(s.repair(), VirtioRepair::default());
+        let mut s = net_pair();
+        assert_eq!(s.repair().total(), 0, "quiescent rings need no repair");
+    }
+
+    #[test]
+    fn used_never_exceeds_avail() {
+        let mut s = net_pair();
+        for i in 0..40 {
+            full_transaction(&mut s, 0, Q_TX, i);
+            while s.devices[1].queues[Q_RX].log_complete().is_some() {}
+            while s.devices[1].queues[Q_RX].push_used().is_some() {}
+            while let Some((_, _)) = s.devices[1].queues[Q_RX].deliver() {
+                // Guest reposts the buffer immediately.
+                s.devices[1].queues[Q_RX].submit(0).unwrap();
+            }
+            s.devices[0].queues[Q_TX].deliver().unwrap();
+            for d in &s.devices {
+                for q in &d.queues {
+                    assert!(q.used_idx() <= q.avail_idx());
+                }
+            }
+        }
+        s.check_invariants().unwrap();
+    }
+}

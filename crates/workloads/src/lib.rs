@@ -14,6 +14,11 @@
 //!   and as the paper's recovery-latency probe: an external sender emits
 //!   one packet per millisecond and measures gaps in the reply stream.
 //!
+//! Two device-path variants exercise the virtio models instead of the
+//! paravirtual path: [`VirtioBlkBench`] (block requests through a
+//! virtio-blk descriptor ring) and [`VirtioNetBench`] (paced east-west
+//! frames through the virtual switch).
+//!
 //! Each benchmark doubles as its own correctness oracle, mirroring the
 //! paper's golden-copy comparison: a workload fails on corrupted data, lost
 //! or failed syscalls, or failure to complete.
@@ -25,11 +30,15 @@ mod blkbench;
 mod netbench;
 mod privvm;
 mod unixbench;
+mod virtioblk;
+mod virtionet;
 
 pub use blkbench::BlkBench;
 pub use netbench::NetBench;
 pub use privvm::PrivVmDriver;
 pub use unixbench::UnixBench;
+pub use virtioblk::VirtioBlkBench;
+pub use virtionet::VirtioNetBench;
 
 use nlh_sim::SimTime;
 

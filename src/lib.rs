@@ -4,6 +4,8 @@
 //! This umbrella crate re-exports the workspace's public API:
 //!
 //! * [`sim`] — deterministic simulation kernel (time, RNG, statistics).
+//! * [`virtio`] — descriptor-ring virtqueues, virtio-blk/net device models
+//!   and the virtual switch, with microreset ring-consistency repair.
 //! * [`hv`] — the simulated Xen-like hypervisor substrate.
 //! * [`workloads`] — the paper's benchmarks (BlkBench, UnixBench, NetBench).
 //! * [`inject`] — the Gigan-style fault injector.
@@ -38,4 +40,5 @@ pub use nlh_core as recovery;
 pub use nlh_hv as hv;
 pub use nlh_inject as inject;
 pub use nlh_sim as sim;
+pub use nlh_virtio as virtio;
 pub use nlh_workloads as workloads;

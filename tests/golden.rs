@@ -12,13 +12,16 @@
 //! constants: print the actual values (each assertion message carries
 //! them) and update the tables below.
 
-use nilihype::campaign::{run_campaign, run_ladder, SetupKind};
+use nilihype::campaign::{
+    run_campaign, run_ladder, run_sampled_campaign_steered, SamplingMode, SetupKind,
+};
+use nilihype::hv::HandlerKind;
 use nilihype::inject::FaultType;
-use nilihype::recovery::{Microreboot, Microreset};
+use nilihype::recovery::{LadderRung, Microreboot, Microreset};
 
 /// Table I ladder, 40 trials per rung, base seed 2018:
 /// (rung index, detected, successes, no_vmf).
-const GOLDEN_LADDER: [(usize, u64, u64, u64); 7] = [
+const GOLDEN_LADDER: [(usize, u64, u64, u64); 8] = [
     (0, 40, 0, 0),   // Basic
     (1, 40, 5, 5),   // ClearIrqCount
     (2, 40, 21, 21), // ReHypeMechanisms
@@ -26,6 +29,7 @@ const GOLDEN_LADDER: [(usize, u64, u64, u64); 7] = [
     (4, 40, 38, 38), // ReprogramTimer
     (5, 40, 38, 38), // UnlockStaticLocks
     (6, 40, 38, 38), // ReactivateTimerEvents
+    (7, 40, 38, 38), // VirtqueueConsistency (== above: no devices in this setup)
 ];
 
 #[test]
@@ -66,6 +70,52 @@ fn golden_fig2_nilihype_counts() {
         assert_eq!(
             got, expect,
             "fig2 NiLiHype {fault} drifted (non_manifested, sdc, detected, successes, no_vmf)"
+        );
+    }
+}
+
+/// Device-heavy steered campaigns (`device_campaign` binary): 2AppVM
+/// vswitch, faults held for the `VirtioMmio` handler, coverage-guided,
+/// 20 trials, seed 2018. Rows: (fault, detected, successes without the
+/// virtqueue-consistency rung, successes with it). Same seed corpus on
+/// both sides — detection counts are mechanism-independent.
+const GOLDEN_DEVICE: [(FaultType, u64, u64, u64); 3] = [
+    (FaultType::Failstop, 20, 3, 20),
+    (FaultType::Register, 4, 0, 4),
+    (FaultType::Code, 11, 0, 8),
+];
+
+#[test]
+fn golden_device_campaign_ring_repair_counts() {
+    for &(fault, detected, without, with) in &GOLDEN_DEVICE {
+        let run = |rung: LadderRung| {
+            let mech = Microreset::with_enhancements(rung.enhancements());
+            run_sampled_campaign_steered(
+                SetupKind::TwoAppVmVswitch,
+                fault,
+                &mech,
+                2018,
+                20,
+                8,
+                SamplingMode::CoverageGuided,
+                Some(HandlerKind::VirtioMmio),
+            )
+        };
+        let off = run(LadderRung::ReactivateTimerEvents);
+        let on = run(LadderRung::VirtqueueConsistency);
+        assert_eq!(
+            (
+                off.successes + off.failures,
+                on.successes + on.failures,
+                off.successes,
+                on.successes
+            ),
+            (detected, detected, without, with),
+            "device campaign {fault} drifted (detected_off, detected_on, succ_without, succ_with)"
+        );
+        assert!(
+            on.successes > off.successes,
+            "{fault}: ring-consistency rung must raise the recovery rate"
         );
     }
 }
