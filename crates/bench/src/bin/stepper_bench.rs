@@ -110,11 +110,32 @@ fn main() {
     let virtio_frames = vhv.virtio.forwarded - vframes0;
     let virtio_rate = virtio_steps as f64 / virtio_secs;
 
+    // Overcommit datapath (PR 8): the 4:1 credit-scheduler workload —
+    // preemption switches, WFI block/wake, load-balancing migrations —
+    // through the same batched loop. `sched_mutations` counts scheduler
+    // state changes in the window, so a regression that silently stops
+    // scheduling (rather than slowing it) also shows up.
+    let (mut ohv, _olayout) = build_system(MachineConfig::small(), SetupKind::Overcommit(4), 2018);
+    ohv.run_for(SimDuration::from_millis(200));
+    let obefore = ohv.steps_executed();
+    let ogen0 = ohv.sched.mutation_generation();
+    let a3 = ALLOCS.load(Ordering::Relaxed);
+    let t3 = Instant::now();
+    while ohv.steps_executed() - obefore < steps && ohv.detection().is_none() {
+        ohv.run_for(SimDuration::from_millis(50));
+    }
+    let oc_secs = t3.elapsed().as_secs_f64();
+    let oc_steps = ohv.steps_executed() - obefore;
+    let oc_allocs = ALLOCS.load(Ordering::Relaxed) - a3;
+    let oc_mutations = ohv.sched.mutation_generation() - ogen0;
+    let oc_rate = oc_steps as f64 / oc_secs;
+
     let json = format!(
-        "{{\n  \"workload\": \"warm_trial/1appvm_unixbench\",\n  \"steps\": {steps},\n  \"per_step\": {{\n    \"steps_per_sec\": {per_step_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"batched\": {{\n    \"steps_per_sec\": {batched_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"virtio\": {{\n    \"workload\": \"warm_trial/2appvm_vswitch\",\n    \"steps_per_sec\": {virtio_rate:.0},\n    \"allocs_per_step\": {:.6},\n    \"frames_forwarded\": {virtio_frames}\n  }}\n}}\n",
+        "{{\n  \"workload\": \"warm_trial/1appvm_unixbench\",\n  \"steps\": {steps},\n  \"per_step\": {{\n    \"steps_per_sec\": {per_step_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"batched\": {{\n    \"steps_per_sec\": {batched_rate:.0},\n    \"allocs_per_step\": {:.6}\n  }},\n  \"virtio\": {{\n    \"workload\": \"warm_trial/2appvm_vswitch\",\n    \"steps_per_sec\": {virtio_rate:.0},\n    \"allocs_per_step\": {:.6},\n    \"frames_forwarded\": {virtio_frames}\n  }},\n  \"overcommit\": {{\n    \"workload\": \"warm_trial/overcommit_4to1\",\n    \"steps_per_sec\": {oc_rate:.0},\n    \"allocs_per_step\": {:.6},\n    \"sched_mutations\": {oc_mutations}\n  }}\n}}\n",
         per_step_allocs as f64 / steps as f64,
         batched_allocs as f64 / batched_steps.max(1) as f64,
         virtio_allocs as f64 / virtio_steps.max(1) as f64,
+        oc_allocs as f64 / oc_steps.max(1) as f64,
     );
     std::fs::write(&out, &json).expect("write bench json");
     print!("{json}");

@@ -105,6 +105,48 @@ fn virtio_datapath_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn overcommit_datapath_steady_state_allocates_nothing() {
+    let (mut hv, _layout) = build_system(MachineConfig::small(), SetupKind::Overcommit(4), 2018);
+    // Warm-up covers the credit scheduler's whole datapath: preemption
+    // context switches, WFI block/wake switches and load-balancing
+    // migration programs all enter the per-CPU pools, and the runqueues
+    // and binding pools reach their high-water marks. It runs past the
+    // benchmarks' end so the measured window is pure scheduler: finished
+    // vCPUs stay runnable, so the credit tick keeps rotating all eight of
+    // them — the one remaining allocator in an *active* window is the
+    // workload itself (UnixBench's multicall construction), which is not
+    // the datapath under test.
+    run_steps(&mut hv, 500_000);
+    while hv.now() < nlh_sim::SimTime::from_millis(10_500) {
+        hv.run_for(SimDuration::from_millis(50));
+    }
+
+    let before_steps = hv.steps_executed();
+    let before_gen = hv.sched.mutation_generation();
+    let before_allocs = ALLOCS.load(Ordering::Relaxed);
+    run_steps(&mut hv, 300_000);
+    let steps = hv.steps_executed() - before_steps;
+    let switches = hv.sched.mutation_generation() - before_gen;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before_allocs;
+
+    assert!(
+        hv.sched.credit_mode(),
+        "4:1 setup runs the credit scheduler"
+    );
+    assert!(hv.sched.check_all().is_ok());
+    assert!(
+        switches > 1_000,
+        "the credit scheduler must actually run in the measured window \
+         ({switches} mutations)"
+    );
+    assert_eq!(
+        allocs, 0,
+        "overcommit steady state must not allocate: {allocs} allocations \
+         over {steps} steps / {switches} scheduler mutations"
+    );
+}
+
+#[test]
 fn pooling_off_reproduces_the_old_allocation_behaviour() {
     let (mut hv, _layout) = build_system(
         MachineConfig::small(),

@@ -140,7 +140,10 @@ pub fn classify(
     }
 
     match layout.setup {
-        SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
+        SetupKind::OneAppVm(_)
+        | SetupKind::TwoAppVmSharedCpu
+        | SetupKind::TwoAppVmVswitch
+        | SetupKind::Overcommit(_) => {
             // 1AppVM-style criterion: "recovery success" means no VM is
             // affected.
             if affected == 0 {

@@ -282,6 +282,37 @@ pub fn run_sampled_campaign_steered(
     mode: SamplingMode,
     steer_handler: Option<HandlerKind>,
 ) -> SampledCampaign {
+    run_sampled_campaign_steered_depth(
+        setup,
+        fault,
+        mechanism,
+        base_seed,
+        trials,
+        windows,
+        mode,
+        steer_handler,
+        1,
+    )
+}
+
+/// [`run_sampled_campaign_steered`] with a per-trial in-handler op delay:
+/// trial `i` is injected `i % depth_cycle` micro-ops *after* the struck CPU
+/// enters the steered handler (see [`nlh_inject::Injector::with_steer_depth`]),
+/// so the corpus sweeps the whole op range of the handler's programs instead
+/// of always striking the first op. `depth_cycle == 1` reproduces the plain
+/// steered campaign exactly (every trial at depth 0).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sampled_campaign_steered_depth(
+    setup: SetupKind,
+    fault: FaultType,
+    mechanism: &dyn RecoveryMechanism,
+    base_seed: u64,
+    trials: u64,
+    windows: usize,
+    mode: SamplingMode,
+    steer_handler: Option<HandlerKind>,
+    depth_cycle: u64,
+) -> SampledCampaign {
     let cache = BootCache::new();
     let mut coverage = CoverageMap::new(windows);
     let mut out = SampledCampaign {
@@ -306,6 +337,7 @@ pub fn run_sampled_campaign_steered(
         let opts = TrialRunOptions {
             trigger_ops,
             steer_handler,
+            steer_depth: i % depth_cycle.max(1),
             ..TrialRunOptions::default()
         };
         let (result, record, _) = run_trial_with(hv, &layout, &config, mechanism, opts);

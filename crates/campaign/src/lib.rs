@@ -31,8 +31,8 @@ pub use boot_cache::BootCache;
 pub use campaign::{run_campaign, run_campaign_with, BootMode, CampaignResult, CampaignTelemetry};
 pub use classify::{classify, netbench_affected, TrialClass};
 pub use coverage::{
-    run_sampled_campaign, run_sampled_campaign_steered, CoverageMap, SampledCampaign, SamplingMode,
-    DEFAULT_OPS_WINDOWS,
+    run_sampled_campaign, run_sampled_campaign_steered, run_sampled_campaign_steered_depth,
+    CoverageMap, SampledCampaign, SamplingMode, DEFAULT_OPS_WINDOWS,
 };
 pub use ladder::{run_ladder, run_ladder_with, LadderRow};
 pub use overhead::{measure_hv_cycles, overhead_percent, OverheadPoint};

@@ -191,6 +191,11 @@ pub struct TrialRecord {
     /// (`None` for unsteered trials). Part of the identity: replay must
     /// restore it or the fault lands elsewhere.
     pub steer_handler: Option<HandlerKind>,
+    /// The steered in-handler op delay ([`TrialRunOptions::steer_depth`]):
+    /// `0` (the historical behaviour) injects on the first op inside the
+    /// steered handler. Written only when nonzero, so older records and
+    /// golden logs are byte-identical.
+    pub steer_depth: u64,
     /// Recovery mechanism name (`"NiLiHype"` / `"ReHype"`).
     pub mechanism: String,
     /// When the first-level trigger timer was set to fire.
@@ -212,6 +217,7 @@ fn format_setup(setup: SetupKind) -> String {
         SetupKind::ThreeAppVm => "ThreeAppVm".into(),
         SetupKind::TwoAppVmSharedCpu => "TwoAppVmSharedCpu".into(),
         SetupKind::TwoAppVmVswitch => "TwoAppVmVswitch".into(),
+        SetupKind::Overcommit(r) => format!("Overcommit:{r}"),
     }
 }
 
@@ -221,6 +227,9 @@ fn parse_setup(s: &str) -> Option<SetupKind> {
         "TwoAppVmSharedCpu" => Some(SetupKind::TwoAppVmSharedCpu),
         "TwoAppVmVswitch" => Some(SetupKind::TwoAppVmVswitch),
         _ => {
+            if let Some(ratio) = s.strip_prefix("Overcommit:") {
+                return ratio.parse::<u8>().ok().map(SetupKind::Overcommit);
+            }
             let bench = s.strip_prefix("OneAppVm:")?;
             let bench = match bench {
                 "BlkBench" => BenchKind::BlkBench,
@@ -312,6 +321,9 @@ impl TrialRecord {
         if let Some(h) = self.steer_handler {
             let _ = writeln!(out, "steer_handler = {h}");
         }
+        if self.steer_depth != 0 {
+            let _ = writeln!(out, "steer_depth = {}", self.steer_depth);
+        }
         let _ = writeln!(out, "fire_at = {}", self.fire_at.as_nanos());
         let _ = writeln!(out, "ops_budget = {}", self.ops_budget);
         if let Some(p) = &self.injection {
@@ -363,6 +375,7 @@ impl TrialRecord {
         let mut mechanism = None;
         let mut trigger_ops = None;
         let mut steer_handler = None;
+        let mut steer_depth = 0u64;
         let mut fire_at = None;
         let mut ops_budget = None;
         let mut injection = None;
@@ -414,6 +427,9 @@ impl TrialRecord {
                 "steer_handler" => {
                     steer_handler =
                         Some(HandlerKind::from_name(value).ok_or_else(|| bad("steer_handler"))?);
+                }
+                "steer_depth" => {
+                    steer_depth = value.parse::<u64>().map_err(|_| bad("steer_depth"))?;
                 }
                 "fire_at" => {
                     fire_at = Some(SimTime::from_nanos(
@@ -487,6 +503,7 @@ impl TrialRecord {
             config,
             trigger_ops: trigger_ops.ok_or("missing trigger_ops")?,
             steer_handler,
+            steer_depth,
             mechanism: mechanism.ok_or("missing mechanism")?,
             fire_at: fire_at.ok_or("missing fire_at")?,
             ops_budget: ops_budget.ok_or("missing ops_budget")?,
@@ -521,6 +538,7 @@ impl TrialRecord {
         let opts = TrialRunOptions {
             trigger_ops: Some(self.trigger_ops),
             steer_handler: self.steer_handler,
+            steer_depth: self.steer_depth,
             ..TrialRunOptions::default()
         };
         let (result, record, _) = run_trial_with(hv, &layout, &self.config, mechanism, opts);
@@ -589,6 +607,7 @@ mod tests {
             ),
             trigger_ops: (0, MAX_TRIGGER_OPS),
             steer_handler: None,
+            steer_depth: 0,
             mechanism: "NiLiHype".into(),
             fire_at: SimTime::from_millis(29),
             ops_budget: 117,
@@ -630,6 +649,8 @@ mod tests {
             SetupKind::ThreeAppVm,
             SetupKind::TwoAppVmSharedCpu,
             SetupKind::TwoAppVmVswitch,
+            SetupKind::Overcommit(1),
+            SetupKind::Overcommit(8),
         ] {
             assert_eq!(parse_setup(&format_setup(setup)), Some(setup));
         }

@@ -56,15 +56,22 @@ pub enum SetupKind {
     /// (east-west traffic). The device-heavy configuration for the
     /// virtqueue-consistency experiments; "success" means no VM affected.
     TwoAppVmVswitch,
+    /// PrivVM + `2 * ratio` AppVMs (alternating UnixBench and BlkBench)
+    /// multiplexed over two physical CPUs by the credit scheduler — the
+    /// N:M overcommit configuration. `Overcommit(1)` is 1:1 (one vCPU per
+    /// CPU, still through the credit machinery); `Overcommit(8)` is 8:1.
+    /// "Success" means no VM affected, as in the 1AppVM setup.
+    Overcommit(u8),
 }
 
 impl SetupKind {
     /// Benchmark run length for this setup.
     pub fn bench_duration(self) -> SimDuration {
         match self {
-            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
-                SimDuration::from_secs(10)
-            }
+            SetupKind::OneAppVm(_)
+            | SetupKind::TwoAppVmSharedCpu
+            | SetupKind::TwoAppVmVswitch
+            | SetupKind::Overcommit(_) => SimDuration::from_secs(10),
             SetupKind::ThreeAppVm => SimDuration::from_secs(24),
         }
     }
@@ -72,9 +79,10 @@ impl SetupKind {
     /// Total simulated trial length (benchmarks + recovery + slack).
     pub fn trial_duration(self) -> SimDuration {
         match self {
-            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
-                SimDuration::from_secs(13)
-            }
+            SetupKind::OneAppVm(_)
+            | SetupKind::TwoAppVmSharedCpu
+            | SetupKind::TwoAppVmVswitch
+            | SetupKind::Overcommit(_) => SimDuration::from_secs(13),
             SetupKind::ThreeAppVm => SimDuration::from_secs(27),
         }
     }
@@ -84,9 +92,10 @@ impl SetupKind {
     /// 6 s.
     pub fn trigger_window(self) -> (SimTime, SimTime) {
         match self {
-            SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
-                (SimTime::from_secs(1), SimTime::from_secs(9))
-            }
+            SetupKind::OneAppVm(_)
+            | SetupKind::TwoAppVmSharedCpu
+            | SetupKind::TwoAppVmVswitch
+            | SetupKind::Overcommit(_) => (SimTime::from_secs(1), SimTime::from_secs(9)),
             SetupKind::ThreeAppVm => (SimTime::from_millis(500), SimTime::from_secs(6)),
         }
     }
@@ -145,9 +154,10 @@ pub fn build_system(
     let dur = setup.bench_duration();
 
     let (create_at, post_recovery_app) = match setup {
-        SetupKind::OneAppVm(_) | SetupKind::TwoAppVmSharedCpu | SetupKind::TwoAppVmVswitch => {
-            (None, None)
-        }
+        SetupKind::OneAppVm(_)
+        | SetupKind::TwoAppVmSharedCpu
+        | SetupKind::TwoAppVmVswitch
+        | SetupKind::Overcommit(_) => (None, None),
         // "Following recovery, a third AppVM is created": scheduled after
         // the trigger window plus worst-case detection + recovery latency.
         SetupKind::ThreeAppVm => (Some(SimTime::from_secs(9)), Some(BenchKind::BlkBench)),
@@ -251,6 +261,30 @@ pub fn build_system(
                     tls,
                 ),
             });
+        }
+        SetupKind::Overcommit(ratio) => {
+            // The credit scheduler multiplexes `2 * ratio` vCPUs over CPUs
+            // 1 and 2: load balancing migrates Ready vCPUs between the two
+            // and the preemption tick time-slices within each. Alternating
+            // home CPUs keeps the boot layout balanced; alternating
+            // benchmarks mixes hypercall-heavy and block-heavy pressure.
+            let ratio = ratio.max(1) as usize;
+            hv.sched.enable_credit(&[CpuId(1), CpuId(2)]);
+            for k in 0..2 * ratio {
+                let kind = if k % 2 == 0 {
+                    BenchKind::UnixBench
+                } else {
+                    BenchKind::BlkBench
+                };
+                let cpu = if k % 2 == 0 { CpuId(1) } else { CpuId(2) };
+                let d = hv.add_boot_domain(DomainSpec {
+                    kind: DomainKind::App,
+                    pages: APP_PAGES,
+                    pinned_cpu: cpu,
+                    program: make_bench(kind, seed ^ (0xA1 + k as u64), dur, tls),
+                });
+                initial_apps.push((d, kind));
+            }
         }
     }
     // Record boot-time I/O APIC configuration (what ReHype's write log
@@ -374,6 +408,25 @@ mod tests {
         // 10%..90% of a ~10 s run.
         assert_eq!(lo, SimTime::from_secs(1));
         assert_eq!(hi, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn overcommit_layout_builds_ratio_vcpus() {
+        let (hv, layout) = build_system(MachineConfig::small(), SetupKind::Overcommit(4), 7);
+        assert_eq!(hv.domains.len(), 9, "PrivVM + 2*4 AppVMs");
+        assert_eq!(layout.initial_apps.len(), 8);
+        assert!(hv.sched.credit_mode(), "credit scheduler enabled");
+        assert!(hv.net.is_none());
+        assert!(layout.create_at.is_none());
+    }
+
+    #[test]
+    fn fault_free_overcommit_run_stays_consistent() {
+        let (mut hv, _) = build_system(MachineConfig::small(), SetupKind::Overcommit(4), 8);
+        hv.run_until(SimTime::from_secs(1));
+        assert!(hv.detection().is_none(), "{:?}", hv.detection());
+        assert!(hv.sched.check_all().is_ok());
+        assert!(hv.domains.iter().all(|d| d.is_active()));
     }
 
     #[test]

@@ -181,6 +181,12 @@ pub struct TrialRunOptions {
     /// device-heavy campaigns steer into `HandlerKind::VirtioMmio` to land
     /// faults mid-virtqueue-transaction; replay restores the filter.
     pub steer_handler: Option<nlh_hv::HandlerKind>,
+    /// Delay a steered injection by this many additional micro-ops executed
+    /// inside the steered handler (see [`Injector::with_steer_depth`]):
+    /// `0` keeps the historical first-op-in-handler behaviour, nonzero
+    /// pushes the fault into the handler's mutation window. Ignored when
+    /// `steer_handler` is `None`; replay restores it.
+    pub steer_depth: u64,
 }
 
 impl Default for TrialRunOptions {
@@ -191,6 +197,7 @@ impl Default for TrialRunOptions {
             inject: true,
             step_limit: None,
             steer_handler: None,
+            steer_depth: 0,
         }
     }
 }
@@ -225,13 +232,20 @@ pub fn run_trial_with(
         trigger_ops,
     );
     if let Some(h) = opts.steer_handler {
-        injector = injector.steer_to_handler(h);
+        injector = injector
+            .steer_to_handler(h)
+            .with_steer_depth(opts.steer_depth);
     }
 
     let mut record = TrialRecord {
         config: config.clone(),
         trigger_ops,
         steer_handler: opts.steer_handler,
+        steer_depth: if opts.steer_handler.is_some() {
+            opts.steer_depth
+        } else {
+            0
+        },
         mechanism: mechanism.name().to_string(),
         fire_at: injector.fire_at(),
         ops_budget: injector.ops_budget(),

@@ -30,6 +30,11 @@ fn setups() -> impl Strategy<Value = SetupKind> {
         Just(SetupKind::OneAppVm(BenchKind::NetBench)),
         Just(SetupKind::ThreeAppVm),
         Just(SetupKind::TwoAppVmSharedCpu),
+        // Credit-mode overcommit: the scheduler datapath (preemption
+        // switches, WFI blocking, migrations) must be bit-identical under
+        // batched/pooled stepping and warm starts too.
+        Just(SetupKind::Overcommit(2)),
+        Just(SetupKind::Overcommit(4)),
     ]
 }
 

@@ -41,9 +41,20 @@ pub(crate) fn apply_undo(hv: &mut Hypervisor) -> usize {
 }
 
 /// Rebuilds scheduling metadata from the per-CPU source of truth and
-/// re-enqueues stranded runnable vCPUs.
+/// re-enqueues stranded runnable vCPUs. In credit (overcommit) mode the
+/// requeue pass also consumes pending-wake bits and clears double-queued /
+/// torn-migration residue; a vCPU it woke must have its domain-level
+/// blocked flag dropped too, or event delivery would re-block it.
 pub(crate) fn fix_scheduler(hv: &mut Hypervisor) -> usize {
-    hv.sched.make_consistent_from_percpu() + hv.sched.requeue_runnable()
+    let n = hv.sched.make_consistent_from_percpu() + hv.sched.requeue_runnable();
+    if hv.sched.credit_mode() {
+        for d in hv.domains.iter_mut() {
+            if d.blocked && hv.sched.vcpu(d.vcpu).state != nlh_hv::sched::RunState::Blocked {
+                d.blocked = false;
+            }
+        }
+    }
+    n
 }
 
 /// Re-creates missing recurring timer events.

@@ -1,0 +1,196 @@
+//! **Overcommit fault campaign** — recovery rate vs overcommit ratio, and
+//! the scheduler-consistency rung's before/after table (EXPERIMENTS.md).
+//!
+//! Sweeps the credit scheduler's N:M ratio (1:1, 2:1, 4:1, 8:1 — `2*ratio`
+//! vCPUs over two CPUs) along two axes per ratio:
+//!
+//! 1. **Unsteered, full NiLiHype**: the headline recovery-rate-vs-ratio
+//!    curve. The paper's future-work experiment measured ~2.5 points lost
+//!    going from pinned 1:1 to two vCPUs sharing a CPU; the 2:1 row
+//!    reproduces that degradation through the credit machinery.
+//! 2. **Steered mid-switch/mid-migration**: every trial's injector is held
+//!    until the struck CPU executes inside a `Scheduler` handler program
+//!    (context switch or migration), so each fault lands in torn scheduler
+//!    metadata. The same fixed-seed corpus runs with the full ladder minus
+//!    `+ Ensure consistency within scheduling metadata` and with the full
+//!    ladder, isolating exactly that rung's contribution.
+//!
+//! Each cell aggregates all three fault types. `--json FILE` writes the
+//! last steered full-ladder run's coverage map (the CI artifact).
+//!
+//! Defaults: 20 trials per fault per cell, 8 windows, seed 2018.
+
+use nlh_campaign::{
+    run_sampled_campaign, run_sampled_campaign_steered_depth, SampledCampaign, SamplingMode,
+    SetupKind, DEFAULT_OPS_WINDOWS,
+};
+use nlh_core::{Enhancements, Microreset};
+use nlh_experiments::hr;
+use nlh_hv::HandlerKind;
+use nlh_inject::FaultType;
+
+/// The swept overcommit ratios (vCPUs per physical CPU).
+const RATIOS: [u8; 4] = [1, 2, 4, 8];
+
+/// Steered trials cycle the in-handler injection depth 0..16 so faults land
+/// across the whole Scheduler program, not just at its first micro-op (the
+/// longest program, a credit context switch, is ~18 ops; mutating ops start
+/// around index 4, so most depths in the cycle strike torn state).
+const STEER_DEPTH_CYCLE: u64 = 16;
+
+struct Args {
+    trials: u64,
+    seed: u64,
+    windows: usize,
+    json: Option<String>,
+    skip_unsteered: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        trials: 20,
+        seed: 2018,
+        windows: DEFAULT_OPS_WINDOWS,
+        json: None,
+        skip_unsteered: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--trials" => out.trials = val("--trials").parse().expect("--trials needs an integer"),
+            "--seed" => out.seed = val("--seed").parse().expect("--seed needs an integer"),
+            "--windows" => {
+                out.windows = val("--windows")
+                    .parse()
+                    .expect("--windows needs an integer")
+            }
+            "--json" => out.json = Some(val("--json")),
+            "--steered-only" => out.skip_unsteered = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: [--trials N] [--seed S] [--windows W] [--json FILE] [--steered-only]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown option {other}; try --help"),
+        }
+    }
+    out
+}
+
+/// Sums one campaign per fault type into a single aggregate cell.
+fn sum_cells(mut run: impl FnMut(FaultType) -> SampledCampaign) -> (u64, u64, SampledCampaign) {
+    let mut successes = 0;
+    let mut failures = 0;
+    let mut last = None;
+    for fault in FaultType::ALL {
+        let c = run(fault);
+        successes += c.successes;
+        failures += c.failures;
+        last = Some(c);
+    }
+    (successes, failures, last.expect("at least one fault type"))
+}
+
+fn fmt_cell(successes: u64, failures: u64) -> String {
+    let detected = successes + failures;
+    if detected == 0 {
+        return "-".into();
+    }
+    format!(
+        "{successes}/{detected} ({:.1}%)",
+        100.0 * successes as f64 / detected as f64
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let full = Microreset::nilihype();
+    let mut no_sched = Enhancements::full();
+    no_sched.sched_consistency = false;
+    let no_sched = Microreset::with_enhancements(no_sched);
+
+    println!("Overcommit campaign: recovery rate vs vCPU:pCPU ratio");
+    println!(
+        "(2*ratio vCPUs over 2 CPUs; steered cells land in Scheduler programs; \
+         {} trials/fault/cell over {} fault types, seed {})",
+        args.trials,
+        FaultType::ALL.len(),
+        args.seed
+    );
+    hr();
+    println!(
+        "{:<6} {:>18} {:>18} {:>18} {:>7}",
+        "ratio", "unsteered full", "steer no-schedfix", "steer schedfix", "delta"
+    );
+
+    let mut last_on: Option<SampledCampaign> = None;
+    for ratio in RATIOS {
+        let setup = SetupKind::Overcommit(ratio);
+        let unsteered = if args.skip_unsteered {
+            "-".into()
+        } else {
+            let (s, f, _) = sum_cells(|fault| {
+                run_sampled_campaign(
+                    setup,
+                    fault,
+                    &full,
+                    args.seed,
+                    args.trials,
+                    args.windows,
+                    SamplingMode::CoverageGuided,
+                )
+            });
+            fmt_cell(s, f)
+        };
+        let (off_s, off_f, _) = sum_cells(|fault| {
+            run_sampled_campaign_steered_depth(
+                setup,
+                fault,
+                &no_sched,
+                args.seed,
+                args.trials,
+                args.windows,
+                SamplingMode::CoverageGuided,
+                Some(HandlerKind::Scheduler),
+                STEER_DEPTH_CYCLE,
+            )
+        });
+        let (on_s, on_f, on_last) = sum_cells(|fault| {
+            run_sampled_campaign_steered_depth(
+                setup,
+                fault,
+                &full,
+                args.seed,
+                args.trials,
+                args.windows,
+                SamplingMode::CoverageGuided,
+                Some(HandlerKind::Scheduler),
+                STEER_DEPTH_CYCLE,
+            )
+        });
+        println!(
+            "{:<6} {:>18} {:>18} {:>18} {:>7}",
+            format!("{ratio}:1"),
+            unsteered,
+            fmt_cell(off_s, off_f),
+            fmt_cell(on_s, on_f),
+            format!("+{}", on_s.saturating_sub(off_s)),
+        );
+        last_on = Some(on_last);
+    }
+    hr();
+    println!("successes/detected per cell; same seed corpus in every cell.");
+
+    if let Some(on) = &last_on {
+        println!();
+        println!("coverage map of the last steered full-ladder run:");
+        print!("{}", on.coverage);
+        if let Some(path) = &args.json {
+            std::fs::write(path, on.coverage.to_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("coverage map written to {path}");
+        }
+    }
+}

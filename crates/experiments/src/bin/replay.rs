@@ -29,6 +29,7 @@ struct Args {
     mech: String,
     ops: Option<(u64, u64)>,
     steer: Option<HandlerKind>,
+    steer_depth: u64,
     log: Option<String>,
     out: Option<String>,
     bisect: bool,
@@ -42,6 +43,7 @@ fn parse_args() -> Args {
         mech: "NiLiHype".to_string(),
         ops: None,
         steer: None,
+        steer_depth: 0,
         log: None,
         out: None,
         bisect: false,
@@ -63,9 +65,14 @@ fn parse_args() -> Args {
                     "vblk" => SetupKind::OneAppVm(BenchKind::VirtioBlkBench),
                     "vnet" => SetupKind::OneAppVm(BenchKind::VirtioNetBench),
                     "vswitch" => SetupKind::TwoAppVmVswitch,
+                    "oc1" => SetupKind::Overcommit(1),
+                    "oc2" => SetupKind::Overcommit(2),
+                    "oc4" => SetupKind::Overcommit(4),
+                    "oc8" => SetupKind::Overcommit(8),
                     other => {
                         panic!(
-                            "unknown setup {other} (blk|unix|net|3appvm|shared|vblk|vnet|vswitch)"
+                            "unknown setup {other} \
+                             (blk|unix|net|3appvm|shared|vblk|vnet|vswitch|oc1|oc2|oc4|oc8)"
                         )
                     }
                 }
@@ -84,6 +91,11 @@ fn parse_args() -> Args {
                     HandlerKind::from_name(&v)
                         .unwrap_or_else(|| panic!("unknown handler {v} (e.g. VirtioMmio)")),
                 );
+            }
+            "--steer-depth" => {
+                args.steer_depth = val("--steer-depth")
+                    .parse()
+                    .expect("--steer-depth needs an integer")
             }
             "--log" => args.log = Some(val("--log")),
             "--out" => args.out = Some(val("--out")),
@@ -116,6 +128,7 @@ fn main() {
             let opts = TrialRunOptions {
                 trigger_ops: args.ops,
                 steer_handler: args.steer,
+                steer_depth: args.steer_depth,
                 ..TrialRunOptions::default()
             };
             let (_, record, _) = run_trial_with(hv, &layout, &config, mech.as_ref(), opts);
@@ -149,6 +162,7 @@ fn main() {
         let steered = TrialRunOptions {
             trigger_ops: Some(record.trigger_ops),
             steer_handler: record.steer_handler,
+            steer_depth: record.steer_depth,
             ..TrialRunOptions::default()
         };
         println!("\nbisecting against the fault-free reference execution...");

@@ -222,6 +222,32 @@ pub enum MicroOp {
     EnqueueVcpu(VcpuId),
     /// Remove a vCPU being switched in from its runqueue.
     DequeueVcpu(VcpuId),
+    /// Credit-scheduler tick: debit the running vCPU, refill an exhausted
+    /// active set, flag preemption, and propose a load-balancing migration
+    /// (credit mode only; a no-op in the pinned model).
+    SchedCreditTick,
+    /// Migration step 1: enqueue the vCPU on the destination CPU's
+    /// runqueue (before leaving the source — the double-queued window).
+    SchedMigrateEnqueue {
+        /// The migrating vCPU.
+        v: VcpuId,
+        /// The destination CPU.
+        to: CpuId,
+    },
+    /// Migration step 2: dequeue the vCPU from the source CPU's runqueue.
+    SchedMigrateDequeue {
+        /// The migrating vCPU.
+        v: VcpuId,
+        /// The source CPU.
+        from: CpuId,
+    },
+    /// Migration step 3: rewrite the vCPU's assigned (home) CPU.
+    SchedSetAssigned {
+        /// The migrating vCPU.
+        v: VcpuId,
+        /// The destination CPU.
+        to: CpuId,
+    },
     /// Record an outbound NetBench reply at the external sender (used to
     /// measure service interruption — Section VII-B).
     RecordNetReply(u64),

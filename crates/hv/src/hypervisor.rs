@@ -193,6 +193,16 @@ pub struct Hypervisor {
     pools: Vec<ProgramPool>,
     /// Reusable scratch for `build_timer_interrupt`'s due-event inspection.
     timer_scratch: Vec<TimerEvent>,
+    /// Free lists recycling request-binding storage (the page lists a
+    /// hypercall fixes at entry and drops at commit), plus the candidate
+    /// and shuffle scratch `bind_simple` needs. Like the program pools,
+    /// this is host-side memory reuse only — bindings are bit-identical
+    /// with recycling on or off, since `pick_n_into` draws the same RNG
+    /// sequence regardless of where the output lands.
+    binding_pool: Vec<Vec<PageNum>>,
+    binding_set_pool: Vec<Vec<Vec<PageNum>>>,
+    page_scratch: Vec<PageNum>,
+    idx_scratch: Vec<usize>,
     // Cached pick for `step_any`: while `next_valid` holds, `next_cpu` is
     // the argmin of `cpu_now` provided its clock is still below
     // `next_bound` (the second-smallest clock at the last scan, held by
@@ -315,6 +325,10 @@ impl Hypervisor {
             steps: 0,
             pools: vec![ProgramPool::new(); n],
             timer_scratch: Vec::new(),
+            binding_pool: Vec::new(),
+            binding_set_pool: Vec::new(),
+            page_scratch: Vec::new(),
+            idx_scratch: Vec::new(),
             next_cpu: 0,
             next_bound: SimTime::ZERO,
             next_bound_cpu: 0,
@@ -972,6 +986,24 @@ impl Hypervisor {
             return StepOutcome::HvOp;
         }
 
+        // Credit-mode scheduler work flagged by the tick: a load-balancing
+        // migration (executed by the source CPU) or a preemption switch.
+        // Both run as abandonable Scheduler programs, outside IRQ context.
+        if self.sched.credit_mode() {
+            if let Some((v, from, to)) = self.sched.take_pending_migration(cpu) {
+                if let Some(prog) = self.build_migrate(cpu, v, from, to) {
+                    self.push_frame(cpu, prog);
+                    return StepOutcome::HvOp;
+                }
+            }
+            if self.sched.take_resched(cpu) {
+                if let Some(prog) = self.build_credit_switch(cpu) {
+                    self.push_frame(cpu, prog);
+                    return StepOutcome::HvOp;
+                }
+            }
+        }
+
         match self.sched.current(cpu) {
             Some(vcpu) => self.step_guest(cpu, vcpu),
             None => self.step_idle(cpu),
@@ -984,8 +1016,9 @@ impl Hypervisor {
             self.raise_panic(cpu, "ASSERT(!in_irq()) failed in idle loop");
             return StepOutcome::Frozen;
         }
-        // A runnable pinned vCPU gets switched in by the scheduler.
-        if let Some(v) = self.sched.peek_next(cpu) {
+        // A runnable vCPU gets switched in by the scheduler (cache-served
+        // pick; always equal to the fresh `peek_next` scan).
+        if let Some(v) = self.sched.cached_pick(cpu) {
             let dom = self.domain_of(v);
             if self.domains[dom.index()].is_active() {
                 let prog = self.build_wakeup_switch(cpu, v);
@@ -1127,10 +1160,25 @@ impl Hypervisor {
     fn bind_request(&mut self, dom: DomId, req: &HcRequest) -> Vec<Vec<PageNum>> {
         match req {
             HcRequest::Multicall(calls) => {
-                let mut out = Vec::with_capacity(calls.len());
+                let mut out = self.take_binding_set();
                 for c in calls {
-                    let b = self.bind_request(dom, c);
-                    out.push(b.into_iter().next().unwrap_or_default());
+                    // A nested multicall (workloads never build one) binds
+                    // all its sub-calls and keeps the first's pages — same
+                    // RNG draws and same flattening as always.
+                    let b = match c {
+                        HcRequest::Multicall(_) => {
+                            let mut inner = self.bind_request(dom, c);
+                            let first = if inner.is_empty() {
+                                self.take_binding_buf()
+                            } else {
+                                inner.remove(0)
+                            };
+                            self.recycle_bindings(inner);
+                            first
+                        }
+                        _ => self.bind_simple(dom, c),
+                    };
+                    out.push(b);
                 }
                 out
             }
@@ -1143,52 +1191,112 @@ impl Hypervisor {
                 // empty list costs no allocation on the hot path.
                 let b = self.bind_simple(dom, req);
                 if b.is_empty() {
+                    self.give_binding_buf(b);
                     Vec::new()
                 } else {
-                    vec![b]
+                    let mut out = self.take_binding_set();
+                    out.push(b);
+                    out
                 }
             }
         }
     }
 
     fn bind_simple(&mut self, dom: DomId, req: &HcRequest) -> Vec<PageNum> {
-        let d = &self.domains[dom.index()];
+        let mut out = self.take_binding_buf();
+        let Hypervisor {
+            domains,
+            rng,
+            page_scratch,
+            idx_scratch,
+            ..
+        } = self;
+        let d = &domains[dom.index()];
         match req {
             HcRequest::PinPages(n) => {
-                let candidates: Vec<PageNum> = d
-                    .owned_pages
-                    .iter()
-                    .copied()
-                    .filter(|p| !d.pinned_pages.contains(p))
-                    .collect();
-                pick_n(&mut self.rng, &candidates, *n)
+                page_scratch.clear();
+                page_scratch.extend(
+                    d.owned_pages
+                        .iter()
+                        .copied()
+                        .filter(|p| !d.pinned_pages.contains(p)),
+                );
+                pick_n_into(rng, page_scratch, *n, idx_scratch, &mut out);
             }
-            HcRequest::UnpinPages(n) => pick_n(&mut self.rng, &d.pinned_pages, *n),
+            HcRequest::UnpinPages(n) => {
+                pick_n_into(rng, &d.pinned_pages, *n, idx_scratch, &mut out)
+            }
             HcRequest::MemoryDecrease(n) => {
-                let candidates: Vec<PageNum> = d
-                    .owned_pages
-                    .iter()
-                    .copied()
-                    .filter(|p| !d.pinned_pages.contains(p))
-                    .collect();
-                pick_n(&mut self.rng, &candidates, *n)
+                page_scratch.clear();
+                page_scratch.extend(
+                    d.owned_pages
+                        .iter()
+                        .copied()
+                        .filter(|p| !d.pinned_pages.contains(p)),
+                );
+                pick_n_into(rng, page_scratch, *n, idx_scratch, &mut out);
             }
             HcRequest::GrantMap { from } => {
-                let granter = &self.domains[from.index()];
-                pick_n(&mut self.rng, &granter.owned_pages, 1)
+                let granter = &domains[from.index()];
+                pick_n_into(rng, &granter.owned_pages, 1, idx_scratch, &mut out);
             }
             HcRequest::BlockIo { .. } => {
                 // A blkfront request carries up to 11 data segments, each
                 // of which is granted to the driver domain.
-                let candidates: Vec<PageNum> = d
-                    .owned_pages
-                    .iter()
-                    .copied()
-                    .filter(|p| !d.pinned_pages.contains(p))
-                    .collect();
-                pick_n(&mut self.rng, &candidates, 11)
+                page_scratch.clear();
+                page_scratch.extend(
+                    d.owned_pages
+                        .iter()
+                        .copied()
+                        .filter(|p| !d.pinned_pages.contains(p)),
+                );
+                pick_n_into(rng, page_scratch, 11, idx_scratch, &mut out);
             }
-            _ => Vec::new(),
+            _ => {}
+        }
+        out
+    }
+
+    /// Buffers retained in each binding free list (matches [`POOL_CAP`]'s
+    /// rationale: bound idle memory, never a steady-state allocation —
+    /// at most one request per vCPU is in flight, and vCPU counts beyond
+    /// the cap only cost a fallback allocation, not correctness).
+    const BINDING_POOL_CAP: usize = 32;
+
+    fn take_binding_buf(&mut self) -> Vec<PageNum> {
+        if self.pooling {
+            self.binding_pool.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn take_binding_set(&mut self) -> Vec<Vec<PageNum>> {
+        if self.pooling {
+            self.binding_set_pool.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn give_binding_buf(&mut self, mut b: Vec<PageNum>) {
+        if self.pooling && b.capacity() > 0 && self.binding_pool.len() < Self::BINDING_POOL_CAP {
+            b.clear();
+            self.binding_pool.push(b);
+        }
+    }
+
+    /// Recycles a retired request's binding storage (outer list and every
+    /// page list) back into the free lists.
+    fn recycle_bindings(&mut self, mut bindings: Vec<Vec<PageNum>>) {
+        if !self.pooling {
+            return;
+        }
+        while let Some(b) = bindings.pop() {
+            self.give_binding_buf(b);
+        }
+        if bindings.capacity() > 0 && self.binding_set_pool.len() < Self::BINDING_POOL_CAP {
+            self.binding_set_pool.push(bindings);
         }
     }
 
@@ -1248,7 +1356,17 @@ impl Hypervisor {
         ops.push(Release(self.timer_locks[i]));
         ops.push(ProgramApic);
 
-        if sched_tick {
+        if sched_tick && self.sched.credit_mode() {
+            // Credit mode: the tick softirq body is the credit-accounting /
+            // load-balancing pass under the runqueue lock. The preemption
+            // switch (if the tick flags one) and any proposed migration run
+            // as their own abandonable Scheduler programs once the IRQ
+            // retires — see `step_run`.
+            ops.push(Acquire(self.runq_locks[i]));
+            ops.push(SchedConsistencyAssert);
+            ops.push(SchedCreditTick);
+            ops.push(Release(self.runq_locks[i]));
+        } else if sched_tick {
             // The scheduler runs off the tick softirq: deschedule the
             // current vCPU, do the credit accounting and runqueue
             // manipulation, then schedule the next one. The paper's
@@ -1491,6 +1609,80 @@ impl Hypervisor {
             Release(self.runq_locks[cpu.index()]),
         ]);
         Program::new(EntryCause::Scheduler, ops)
+    }
+
+    /// The credit-mode preemption context switch: deschedule the current
+    /// vCPU and switch in the highest-credit queued one. Returns `None`
+    /// when the pick is gone or unchanged by the time the flag is consumed.
+    fn build_credit_switch(&mut self, cpu: CpuId) -> Option<Program> {
+        let prev = self.sched.current(cpu);
+        let next = self.sched.cached_pick(cpu)?;
+        if Some(next) == prev {
+            return None;
+        }
+        let dom = self.domain_of(next);
+        if !self.domains[dom.index()].is_active() {
+            return None;
+        }
+        use MicroOp::*;
+        let mut ops = self.take_buf(cpu);
+        ops.push(AssertNotInIrq);
+        ops.push(Acquire(self.runq_locks[cpu.index()]));
+        ops.push(SchedConsistencyAssert);
+        ops.push(Compute);
+        if let Some(p) = prev {
+            ops.push(CsSetPercpuCurrent(None));
+            ops.push(CsSetRunningOn(p, None));
+            ops.push(CsSetIsCurrent(p, false));
+            ops.push(EnqueueVcpu(p));
+        }
+        // Credit bookkeeping between deschedule and switch-in: the window
+        // where a fault leaves the CPU with no current vCPU and `prev`
+        // possibly off every queue.
+        for _ in 0..4 {
+            ops.push(Compute);
+        }
+        ops.push(DequeueVcpu(next));
+        ops.push(CsSetPercpuCurrent(Some(next)));
+        ops.push(CsSetRunningOn(next, Some(cpu)));
+        ops.push(CsSetIsCurrent(next, true));
+        ops.push(Compute);
+        ops.push(Release(self.runq_locks[cpu.index()]));
+        Some(Program::new(EntryCause::Scheduler, ops))
+    }
+
+    /// The load-balancing migration program: move vCPU `v` from CPU `from`
+    /// to CPU `to` under both runqueue locks. Enqueue-on-destination runs
+    /// *before* dequeue-from-source, so a fault between the two freezes a
+    /// double-queued vCPU; a fault before `SchedSetAssigned` freezes a torn
+    /// migration (queued on a CPU that is not its home). Both are exactly
+    /// the residues the scheduler-consistency rung must clear. Returns
+    /// `None` when the proposal went stale before the program could build.
+    fn build_migrate(&mut self, cpu: CpuId, v: VcpuId, from: CpuId, to: CpuId) -> Option<Program> {
+        let info = self.sched.vcpu(v);
+        if info.state != crate::sched::RunState::Runnable
+            || info.is_current
+            || info.pinned_to != from
+        {
+            return None;
+        }
+        use MicroOp::*;
+        let mut ops = self.take_buf(cpu);
+        ops.extend_from_slice(&[
+            AssertNotInIrq,
+            Acquire(self.runq_locks[from.index()]),
+            Acquire(self.runq_locks[to.index()]),
+            SchedConsistencyAssert,
+            Compute,
+            SchedMigrateEnqueue { v, to },
+            Compute,
+            SchedMigrateDequeue { v, from },
+            SchedSetAssigned { v, to },
+            Compute,
+            Release(self.runq_locks[to.index()]),
+            Release(self.runq_locks[from.index()]),
+        ]);
+        Some(Program::new(EntryCause::Scheduler, ops))
     }
 
     /// Builds (or rebuilds, on retry) the program for a vCPU's pending
@@ -1959,6 +2151,14 @@ impl Hypervisor {
                         }
                     }
                     self.irqs.post_event(dom, ev);
+                    // Overcommit lost-wakeup hole: the wake op that follows
+                    // this post may be abandoned by recovery. Record the
+                    // wake on the blocked vCPU so the scheduler-consistency
+                    // repair honours it (never set on offline vCPUs).
+                    if self.sched.credit_mode() && self.domains[dom.index()].blocked {
+                        let v = self.domains[dom.index()].vcpu;
+                        self.sched.note_pending_wake(v);
+                    }
                 }
             }
             MicroOp::ProgramApic => {
@@ -2057,6 +2257,10 @@ impl Hypervisor {
                 }
             }
             MicroOp::DequeueVcpu(v) => self.sched.dequeue(v),
+            MicroOp::SchedCreditTick => self.sched.credit_tick(cpu),
+            MicroOp::SchedMigrateEnqueue { v, to } => self.sched.migrate_enqueue(v, to),
+            MicroOp::SchedMigrateDequeue { v, from } => self.sched.migrate_dequeue(v, from),
+            MicroOp::SchedSetAssigned { v, to } => self.sched.set_assigned(v, to),
             MicroOp::RecordNetReply(seq) => {
                 let now = self.cpu_now[i];
                 self.net_replies.push((seq, now));
@@ -2192,6 +2396,7 @@ impl Hypervisor {
         }
         // The undo log for this vCPU is dead once the hypercall commits.
         self.undo_log.retain(|(v, _)| *v != vcpu);
+        self.recycle_bindings(pending.bindings);
         self.domains[dom_id.index()].notify(now, GuestNotice::HypercallDone { ok: true });
     }
 
@@ -2419,18 +2624,37 @@ impl Hypervisor {
 }
 
 /// Picks up to `n` distinct elements from `pool` (fewer if the pool is
-/// small).
-fn pick_n(rng: &mut Pcg64, pool: &[PageNum], n: usize) -> Vec<PageNum> {
+/// small) into `out`, shuffling through the reusable `idx` scratch so the
+/// steady-state binding path performs no allocation. The RNG draws are
+/// those of the original allocating version exactly.
+fn pick_n_into(
+    rng: &mut Pcg64,
+    pool: &[PageNum],
+    n: usize,
+    idx: &mut Vec<usize>,
+    out: &mut Vec<PageNum>,
+) {
+    out.clear();
     if pool.is_empty() || n == 0 {
-        return Vec::new();
+        return;
     }
     if pool.len() <= n {
-        return pool.to_vec();
+        out.extend_from_slice(pool);
+        return;
     }
-    let mut idx: Vec<usize> = (0..pool.len()).collect();
-    rng.shuffle(&mut idx);
+    idx.clear();
+    idx.extend(0..pool.len());
+    rng.shuffle(idx);
     idx.truncate(n);
-    idx.into_iter().map(|i| pool[i]).collect()
+    out.extend(idx.iter().map(|&i| pool[i]));
+}
+
+/// Allocating convenience wrapper over [`pick_n_into`] (tests).
+#[cfg(test)]
+fn pick_n(rng: &mut Pcg64, pool: &[PageNum], n: usize) -> Vec<PageNum> {
+    let mut out = Vec::new();
+    pick_n_into(rng, pool, n, &mut Vec::new(), &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,240 @@
+//! Overcommit scheduler integration tests: the credit-mode hypervisor under
+//! N:M vCPU sharing, and — the recovery-critical property — abandonment of
+//! Scheduler programs (context switch, wakeup switch, migration) at **every
+//! micro-op prefix**, followed by the scheduler-consistency repair the
+//! microreset ladder runs. Whatever torn residue the prefix froze
+//! (double-queued vCPU, vanished current, half-migrated assignment), the
+//! repair must converge to a state that passes every scheduler assertion
+//! and lets the machine run on without a second detection.
+
+use nlh_hv::domain::{DomainKind, DomainSpec, GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
+use nlh_hv::hypercalls::EntryCause;
+use nlh_hv::sched::RunState;
+use nlh_hv::{CpuId, Hypervisor, MachineConfig};
+use nlh_sim::{Pcg64, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Compute/block cycles: each lap is one compute burst followed by a
+/// voluntary block (the periodic domain timer wakes the vCPU), exercising
+/// the Ready/Running/Blocked machine plus preemption between laps.
+#[derive(Debug, Clone)]
+struct ComputeBlock {
+    laps_left: u32,
+    block_next: bool,
+}
+
+impl ComputeBlock {
+    fn new(laps: u32) -> Self {
+        ComputeBlock {
+            laps_left: laps,
+            block_next: false,
+        }
+    }
+}
+
+impl GuestProgram for ComputeBlock {
+    fn name(&self) -> &str {
+        "ComputeBlock"
+    }
+    fn next_op(&mut self, _now: SimTime, _rng: &mut Pcg64) -> GuestOp {
+        if self.laps_left == 0 {
+            return GuestOp::Done;
+        }
+        if self.block_next {
+            self.block_next = false;
+            GuestOp::Block
+        } else {
+            self.laps_left -= 1;
+            self.block_next = true;
+            GuestOp::Compute(SimDuration::from_micros(700))
+        }
+    }
+    fn notice(&mut self, _now: SimTime, _n: GuestNotice) {}
+    fn verdict(&self, _now: SimTime, _deadline: SimTime) -> WorkloadVerdict {
+        if self.laps_left == 0 {
+            WorkloadVerdict::CompletedOk
+        } else {
+            WorkloadVerdict::Running
+        }
+    }
+    fn clone_box(&self) -> Box<dyn GuestProgram> {
+        Box::new(self.clone())
+    }
+}
+
+/// Boots a credit-mode machine with `on_cpu1 + on_cpu2` vCPUs shared over
+/// CPUs 1 and 2. Uneven splits keep the load balancer proposing
+/// migrations, so all three Scheduler program shapes occur.
+fn overcommit_hv(seed: u64, on_cpu1: usize, on_cpu2: usize, laps: u32) -> Hypervisor {
+    let mut hv = Hypervisor::new(MachineConfig::small(), seed);
+    hv.sched.enable_credit(&[CpuId(1), CpuId(2)]);
+    for k in 0..on_cpu1 + on_cpu2 {
+        let cpu = if k < on_cpu1 { CpuId(1) } else { CpuId(2) };
+        hv.add_boot_domain(DomainSpec {
+            kind: DomainKind::App,
+            pages: 16,
+            pinned_cpu: cpu,
+            program: Box::new(ComputeBlock::new(laps)),
+        });
+    }
+    hv
+}
+
+/// The scheduler slice of the recovery ladder's consistency repair, as the
+/// shared recovery step applies it: rebuild vCPU state from the per-CPU
+/// ground truth, requeue stranded runnables, and clear domain-side blocked
+/// flags that disagree with the rebuilt scheduler state (the lost-wakeup
+/// case). The ladder steps that run *before* the scheduler rung — clearing
+/// IRQ nesting counts and releasing abandoned locks — are mirrored first;
+/// without them the repaired machine wedges on residue the scheduler rung
+/// was never responsible for.
+fn repair_scheduler(hv: &mut Hypervisor) {
+    for pc in hv.percpu.iter_mut() {
+        pc.local_irq_count = 0;
+    }
+    let heap_locks: Vec<_> = hv.heap.embedded_locks().collect();
+    hv.locks.unlock_heap_locks(heap_locks);
+    hv.locks.unlock_static_segment();
+    hv.sched.make_consistent_from_percpu();
+    hv.sched.requeue_runnable();
+    let stale: Vec<usize> = hv
+        .domains
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.blocked && hv.sched.vcpu(d.vcpu).state != RunState::Blocked)
+        .map(|(i, _)| i)
+        .collect();
+    for i in stale {
+        hv.domains[i].blocked = false;
+    }
+}
+
+/// Steps until some CPU sits inside a Scheduler program with exactly
+/// `prefix` micro-ops executed; returns false if that never happens within
+/// the guard (prefixes longer than the longest program built).
+fn step_to_scheduler_prefix(hv: &mut Hypervisor, prefix: usize, guard: usize) -> bool {
+    for _ in 0..guard {
+        hv.step_any();
+        for c in 0..hv.num_cpus() {
+            if let Some((EntryCause::Scheduler, pc)) = hv.cpu_program_context(CpuId::from_index(c))
+            {
+                if pc == prefix {
+                    return true;
+                }
+            }
+        }
+        if hv.detection().is_some() {
+            panic!("fault-free run detected: {:?}", hv.detection());
+        }
+    }
+    false
+}
+
+#[test]
+fn fault_free_overcommit_finishes_every_guest() {
+    let mut hv = overcommit_hv(11, 4, 4, 40);
+    hv.run_for(SimDuration::from_secs(2));
+    assert!(hv.detection().is_none());
+    assert!(hv.sched.check_all().is_ok());
+    for (i, d) in hv.domains.iter().enumerate() {
+        assert!(d.finished, "dom{i} starved under 4:1 sharing");
+    }
+}
+
+/// The satellite property: abandon a Scheduler program after *every*
+/// possible micro-op prefix and require the consistency repair to converge.
+/// Low prefixes freeze the pre-mutation window (lock held, nothing torn);
+/// middle prefixes freeze a dequeued-but-not-current or double-queued
+/// vCPU; deep prefixes only exist in the long credit switch. Prefixes
+/// beyond every program built this run are skipped, but the early ones
+/// must all be reachable or the test is vacuous.
+#[test]
+fn abandonment_at_every_scheduler_prefix_repairs_consistency() {
+    let mut covered = 0;
+    for prefix in 0..18 {
+        let mut hv = overcommit_hv(2018 + prefix as u64, 5, 1, 400);
+        if !step_to_scheduler_prefix(&mut hv, prefix, 300_000) {
+            continue;
+        }
+        covered += 1;
+        hv.discard_all_stacks();
+        repair_scheduler(&mut hv);
+        assert!(
+            hv.sched.check_all().is_ok(),
+            "prefix {prefix}: {:?}",
+            hv.sched.check_all()
+        );
+        // The repaired machine must run on: the next Scheduler program's
+        // SchedConsistencyAssert re-checks everything, so a missed tear
+        // surfaces as a detection here.
+        hv.resume_after(SimDuration::from_millis(22));
+        hv.run_for(SimDuration::from_millis(200));
+        assert!(
+            hv.detection().is_none(),
+            "prefix {prefix}: post-repair detection {:?}",
+            hv.detection()
+        );
+        assert!(hv.sched.check_all().is_ok());
+    }
+    assert!(covered >= 10, "only {covered} prefixes reachable");
+}
+
+/// A fault frozen mid-migration (after enqueue-on-destination, before
+/// dequeue-from-source) leaves the vCPU double-queued; repair must collapse
+/// it to exactly one home.
+#[test]
+fn abandoned_migration_double_queue_is_collapsed() {
+    let mut hv = overcommit_hv(7, 5, 1, 400);
+    let mut hit = None;
+    'outer: for _ in 0..400_000 {
+        hv.step_any();
+        for v in 0..hv.sched.num_vcpus() {
+            let v = nlh_hv::VcpuId::from_index(v);
+            if hv.sched.queue_occurrences(v) > 1 {
+                hit = Some(v);
+                break 'outer;
+            }
+        }
+    }
+    let v = hit.expect("load balancer never froze a double-queued vCPU");
+    hv.discard_all_stacks();
+    assert!(
+        hv.sched.queue_occurrences(v) > 1,
+        "residue survives discard"
+    );
+    repair_scheduler(&mut hv);
+    assert_eq!(hv.sched.queue_occurrences(v), 1);
+    assert!(hv.sched.check_all().is_ok());
+    hv.resume_after(SimDuration::from_millis(22));
+    hv.run_for(SimDuration::from_millis(200));
+    assert!(hv.detection().is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings: run a random overcommit layout a random
+    /// number of steps, abandon wherever execution happens to be (mid
+    /// scheduler program or not), repair, and require full consistency
+    /// plus a clean continued run.
+    #[test]
+    fn random_abandonment_always_repairs(
+        seed in 0u64..10_000,
+        on_cpu1 in 1usize..6,
+        on_cpu2 in 1usize..6,
+        steps in 1_000usize..60_000,
+    ) {
+        let mut hv = overcommit_hv(seed, on_cpu1, on_cpu2, 10_000);
+        for _ in 0..steps {
+            hv.step_any();
+        }
+        prop_assert!(hv.detection().is_none(), "fault-free run detected");
+        hv.discard_all_stacks();
+        repair_scheduler(&mut hv);
+        prop_assert!(hv.sched.check_all().is_ok(), "{:?}", hv.sched.check_all());
+        hv.resume_after(SimDuration::from_millis(22));
+        hv.run_for(SimDuration::from_millis(120));
+        prop_assert!(hv.detection().is_none(), "{:?}", hv.detection());
+        prop_assert!(hv.sched.check_all().is_ok());
+    }
+}

@@ -195,6 +195,8 @@ pub struct Injector {
     ops_budget: u64,
     ops_range: (u64, u64),
     only_handler: Option<HandlerKind>,
+    steer_depth: u64,
+    depth_left: u64,
     outcome: Option<InjectionOutcome>,
     injected_on: Option<CpuId>,
     point: Option<InjectionPoint>,
@@ -248,6 +250,8 @@ impl Injector {
             ops_budget,
             ops_range,
             only_handler: None,
+            steer_depth: 0,
+            depth_left: 0,
             outcome: None,
             injected_on: None,
             point: None,
@@ -298,6 +302,25 @@ impl Injector {
     /// The handler filter, if the injector was steered.
     pub fn steered_handler(&self) -> Option<HandlerKind> {
         self.only_handler
+    }
+
+    /// Delays a steered injection by `depth` additional micro-ops executed
+    /// *inside* the steered handler (carrying across program instances if
+    /// one retires first). Without it a steered fault almost always lands
+    /// on the first op of a matching program — before the handler has
+    /// mutated anything — because the spent budget usually runs out
+    /// elsewhere. A nonzero depth pushes the fault into the handler's
+    /// mutation window. No extra randomness: callers derive the depth from
+    /// the trial seed and replay restores it verbatim.
+    pub fn with_steer_depth(mut self, depth: u64) -> Self {
+        self.steer_depth = depth;
+        self.depth_left = depth;
+        self
+    }
+
+    /// The steered in-handler op delay, if any.
+    pub fn steer_depth(&self) -> u64 {
+        self.steer_depth
     }
 
     /// Where the fault landed (handler, op index, CPU, time), once
@@ -353,6 +376,10 @@ impl Injector {
                     if let Some(filter) = self.only_handler {
                         let here = hv.cpu_program_context(cpu).map(|(c, _)| c.handler_kind());
                         if here != Some(filter) {
+                            return false;
+                        }
+                        if self.depth_left > 0 {
+                            self.depth_left -= 1;
                             return false;
                         }
                     }
