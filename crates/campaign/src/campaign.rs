@@ -65,6 +65,13 @@ pub struct CampaignTelemetry {
     /// Recovery latency per recovery phase (the step names of
     /// Tables II/III), in simulated microseconds.
     pub phase_latency_us: BTreeMap<String, Histogram>,
+    /// Boot-cache activity attributable to this campaign: for the legacy
+    /// per-campaign path, the campaign's own cache; for the resident
+    /// engine, the deltas of the shared cache around this cell. A
+    /// campaign whose `(machine, setup)` template was already resident
+    /// shows `boot_cache.misses == 0` here — cross-campaign reuse is
+    /// observable per cell.
+    pub boot_cache: crate::boot_cache::CacheCounters,
 }
 
 impl CampaignTelemetry {
@@ -239,47 +246,24 @@ where
     for shard in shards {
         merged.merge(shard);
     }
-
-    CampaignResult {
-        mechanism: merged.mechanism,
-        fault,
-        trials,
-        non_manifested: merged.non_manifested,
-        sdc: merged.sdc,
-        detected: merged.detected,
-        successes: merged.successes,
-        no_vmf: merged.no_vmf,
-        failure_reasons: merged.failure_reasons,
-        telemetry: CampaignTelemetry {
-            boot_mode,
-            workers: threads,
-            wall_secs,
-            trials_per_sec: if wall_secs > 0.0 {
-                trials as f64 / wall_secs
-            } else {
-                0.0
-            },
-            setup_nanos: merged.setup_nanos,
-            run_nanos: merged.run_nanos,
-            total_steps: merged.steps,
-            steps_per_sec: if merged.run_nanos > 0 {
-                merged.steps as f64 / (merged.run_nanos as f64 / 1e9)
-            } else {
-                0.0
-            },
-            recovery_latency_us: merged.recovery_latency_us,
-            phase_latency_us: merged.phase_latency_us,
-        },
-    }
+    let boot_cache = match boot_mode {
+        BootMode::Warm => cache.counters(),
+        BootMode::Cold => Default::default(),
+    };
+    merged.into_result(fault, trials, boot_mode, threads, wall_secs, boot_cache)
 }
 
 fn elapsed_nanos(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// One worker's private aggregation state.
+/// One worker's private aggregation state. Also the aggregation core of
+/// the resident campaign engine (`engine.rs`), which feeds seed-ordered
+/// trial results through one shard — every count, histogram and reason
+/// bucket is commutative, so per-worker-shard merging and seed-order
+/// feeding produce identical results.
 #[derive(Debug)]
-struct Shard {
+pub(crate) struct Shard {
     mechanism: String,
     non_manifested: u64,
     sdc: u64,
@@ -295,7 +279,7 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(mechanism: String) -> Self {
+    pub(crate) fn new(mechanism: String) -> Self {
         Shard {
             mechanism,
             non_manifested: 0,
@@ -312,7 +296,14 @@ impl Shard {
         }
     }
 
-    fn add(&mut self, result: &TrialResult) {
+    /// Accounts wall-clock time spent obtaining a booted system / running
+    /// a trial body (the engine's workers report these in bulk).
+    pub(crate) fn add_nanos(&mut self, setup: u64, run: u64) {
+        self.setup_nanos += setup;
+        self.run_nanos += run;
+    }
+
+    pub(crate) fn add(&mut self, result: &TrialResult) {
         self.steps += result.steps;
         match &result.class {
             TrialClass::NonManifested => self.non_manifested += 1,
@@ -340,6 +331,52 @@ impl Shard {
                     .or_default()
                     .add(step.duration.as_micros() as f64);
             }
+        }
+    }
+
+    /// Packages the aggregated counts as a [`CampaignResult`]. Used by
+    /// both the legacy per-campaign path and the resident engine, so the
+    /// two construct results through the identical code.
+    pub(crate) fn into_result(
+        self,
+        fault: FaultType,
+        trials: u64,
+        boot_mode: BootMode,
+        workers: usize,
+        wall_secs: f64,
+        boot_cache: crate::boot_cache::CacheCounters,
+    ) -> CampaignResult {
+        CampaignResult {
+            mechanism: self.mechanism,
+            fault,
+            trials,
+            non_manifested: self.non_manifested,
+            sdc: self.sdc,
+            detected: self.detected,
+            successes: self.successes,
+            no_vmf: self.no_vmf,
+            failure_reasons: self.failure_reasons,
+            telemetry: CampaignTelemetry {
+                boot_mode,
+                workers,
+                wall_secs,
+                trials_per_sec: if wall_secs > 0.0 {
+                    trials as f64 / wall_secs
+                } else {
+                    0.0
+                },
+                setup_nanos: self.setup_nanos,
+                run_nanos: self.run_nanos,
+                total_steps: self.steps,
+                steps_per_sec: if self.run_nanos > 0 {
+                    self.steps as f64 / (self.run_nanos as f64 / 1e9)
+                } else {
+                    0.0
+                },
+                recovery_latency_us: self.recovery_latency_us,
+                phase_latency_us: self.phase_latency_us,
+                boot_cache,
+            },
         }
     }
 
@@ -454,6 +491,10 @@ mod tests {
         assert!(t.setup_fraction() > 0.0 && t.setup_fraction() < 1.0);
         assert!(t.total_steps > 0, "trial bodies execute steps");
         assert!(t.steps_per_sec > 0.0);
+        // The per-campaign cache builds one template and serves the rest.
+        assert_eq!(t.boot_cache.misses, 1);
+        assert_eq!(t.boot_cache.hits, r.trials - 1);
+        assert_eq!(t.boot_cache.resident_templates, 1);
         // Phase histograms carry the per-step breakdown of Table III.
         assert!(!t.phase_latency_us.is_empty());
         for h in t.phase_latency_us.values() {

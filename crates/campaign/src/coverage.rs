@@ -314,6 +314,47 @@ pub fn run_sampled_campaign_steered_depth(
     depth_cycle: u64,
 ) -> SampledCampaign {
     let cache = BootCache::new();
+    run_sampled_campaign_in(
+        &cache,
+        setup,
+        fault,
+        mechanism,
+        base_seed,
+        trials,
+        windows,
+        mode,
+        steer_handler,
+        depth_cycle,
+        &mut |_, _, _| false,
+    )
+}
+
+/// The sampled-campaign core: [`run_sampled_campaign_steered_depth`] with
+/// the boot cache supplied by the caller (so a resident
+/// [`crate::CampaignEngine`] can share warm templates across campaigns)
+/// and a per-trial hook for streaming and early stopping.
+///
+/// `after_trial` is called once per completed trial with
+/// `(trials_done, detected, successes)`; returning `true` halts the
+/// campaign there, and the returned [`SampledCampaign::trials`] records
+/// the executed count. The legacy entry points pass a fresh cache and a
+/// never-stop hook, so their behaviour is unchanged bit-for-bit — trial
+/// `i` still checks out from the cache and reseeds with `base_seed + i`,
+/// making results independent of what else the shared cache has served.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sampled_campaign_in(
+    cache: &BootCache,
+    setup: SetupKind,
+    fault: FaultType,
+    mechanism: &dyn RecoveryMechanism,
+    base_seed: u64,
+    trials: u64,
+    windows: usize,
+    mode: SamplingMode,
+    steer_handler: Option<HandlerKind>,
+    depth_cycle: u64,
+    after_trial: &mut dyn FnMut(u64, u64, u64) -> bool,
+) -> SampledCampaign {
     let mut coverage = CoverageMap::new(windows);
     let mut out = SampledCampaign {
         mode,
@@ -324,6 +365,8 @@ pub fn run_sampled_campaign_steered_depth(
         coverage: CoverageMap::new(windows),
         first_failure_record: None,
     };
+    let mut detected = 0u64;
+    let mut executed = 0u64;
     for i in 0..trials {
         let config = TrialConfig::new(setup, fault, base_seed + i);
         let (assigned, trigger_ops) = match mode {
@@ -343,6 +386,9 @@ pub fn run_sampled_campaign_steered_depth(
         let (result, record, _) = run_trial_with(hv, &layout, &config, mechanism, opts);
 
         let failed = matches!(result.class, TrialClass::RecoveryFailure(_));
+        if failed || result.class.is_success() {
+            detected += 1;
+        }
         if result.class.is_success() {
             out.successes += 1;
         }
@@ -356,7 +402,12 @@ pub fn run_sampled_campaign_steered_depth(
         let injection = record.injection.map(|p| (p.handler, p.ops_budget));
         let assigned = assigned.unwrap_or_else(|| coverage.window_of(record.ops_budget));
         coverage.observe(assigned, injection, failed);
+        executed = i + 1;
+        if after_trial(executed, detected, out.successes) {
+            break;
+        }
     }
+    out.trials = executed;
     out.coverage = coverage;
     out
 }

@@ -1,0 +1,619 @@
+//! The resident campaign engine: one long-lived service that runs whole
+//! experiment suites against a shared boot cache.
+//!
+//! The legacy entry points ([`crate::run_campaign_with`],
+//! [`crate::run_sampled_campaign_steered_depth`]) build a fresh
+//! [`BootCache`] per campaign, so a suite of N campaigns over the same
+//! `(machine, setup)` pays N cold template builds. A [`CampaignEngine`]
+//! owns a single cache keyed by `(MachineConfig, SetupKind)` for the life
+//! of a job: the first campaign to touch a key builds its template, every
+//! later campaign warm-starts from it, and per-cell [`CacheCounters`]
+//! deltas make the reuse observable (`misses == 0` on the second
+//! campaign). Sharing is safe because [`BootCache::checkout`] reseeds
+//! every RNG from the trial seed — a template serves any number of
+//! campaigns without coupling their trial streams, so engine results are
+//! bit-identical to the legacy per-campaign paths (pinned by the
+//! `engine_equivalence` differential suite).
+//!
+//! Execution is batched: workers pull trial indices from an atomic
+//! counter and return `(index, result)` pairs, which the engine sorts and
+//! folds **seed-ordered** through the same [`Shard`] aggregation the
+//! legacy path uses. Seed-order folding is what makes the optional
+//! stop-at-confidence policy deterministic: the stop trial is the first
+//! `n` at which the seed-ordered prefix's Wilson half-width crosses the
+//! threshold, independent of how the batch's trials interleaved across
+//! workers, and the aggregated result equals a fixed-trials run of
+//! exactly `n` trials.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use nlh_sim::stats::Proportion;
+
+use crate::boot_cache::{BootCache, CacheCounters};
+use crate::campaign::{BootMode, CampaignResult, Shard};
+use crate::classify::TrialClass;
+use crate::coverage::{run_sampled_campaign_in, SampledCampaign};
+use crate::setup::build_system;
+use crate::spec::{CampaignSpec, ExecMode, StopPolicy, SuiteSpec};
+use crate::stream::{CampaignSnapshot, TelemetrySink};
+use crate::trial::{run_trial_on, TrialConfig, TrialResult};
+
+/// The per-mode payload of a finished cell.
+#[derive(Debug)]
+pub enum CellOutput {
+    /// A sharded cell's aggregate (the [`crate::run_campaign_with`]
+    /// shape).
+    Sharded(CampaignResult),
+    /// A sampled cell's coverage-map campaign (the
+    /// [`crate::run_sampled_campaign_steered_depth`] shape).
+    Sampled(SampledCampaign),
+}
+
+/// Everything the engine knows about a finished cell.
+#[derive(Debug)]
+pub struct CellResult {
+    /// The aggregate result.
+    pub output: CellOutput,
+    /// Trials actually executed (equals the spec's budget unless
+    /// stop-at-confidence halted early).
+    pub executed: u64,
+    /// `Some(n)` if stop-at-confidence halted the cell after exactly `n`
+    /// trials.
+    pub stopped_at: Option<u64>,
+    /// Boot-cache activity attributable to this cell (counter deltas
+    /// around the cell; gauges are post-cell values).
+    pub cache: CacheCounters,
+    /// Seed-ordered per-trial results (sharded cells only; empty for
+    /// sampled cells). The equivalence suite compares these one-for-one
+    /// against standalone trial runs.
+    pub per_trial: Vec<TrialResult>,
+}
+
+impl CellResult {
+    /// The sharded aggregate, if this was a sharded cell.
+    pub fn sharded(&self) -> Option<&CampaignResult> {
+        match &self.output {
+            CellOutput::Sharded(r) => Some(r),
+            CellOutput::Sampled(_) => None,
+        }
+    }
+
+    /// The sampled campaign, if this was a sampled cell.
+    pub fn sampled(&self) -> Option<&SampledCampaign> {
+        match &self.output {
+            CellOutput::Sampled(s) => Some(s),
+            CellOutput::Sharded(_) => None,
+        }
+    }
+}
+
+/// One finished job of a suite run.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's name ([`CampaignSpec::name`]).
+    pub name: String,
+    /// The cell's result.
+    pub cell: CellResult,
+}
+
+/// Why a suite could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// Two jobs share a name.
+    DuplicateJob(String),
+    /// A job's `after` names a job that does not exist.
+    UnknownDependency {
+        /// The job with the bad edge.
+        job: String,
+        /// The missing dependency name.
+        dep: String,
+    },
+    /// The `after` edges form a cycle among these jobs.
+    Cycle(Vec<String>),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::DuplicateJob(name) => write!(f, "duplicate job name {name:?}"),
+            SuiteError::UnknownDependency { job, dep } => {
+                write!(f, "job {job:?} depends on unknown job {dep:?}")
+            }
+            SuiteError::Cycle(jobs) => write!(f, "dependency cycle among jobs {jobs:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// A resident campaign service: submit [`CampaignSpec`]s (or whole
+/// [`SuiteSpec`] graphs) and every cell shares one boot cache.
+#[derive(Debug)]
+pub struct CampaignEngine {
+    cache: BootCache,
+}
+
+impl Default for CampaignEngine {
+    fn default() -> Self {
+        CampaignEngine::new()
+    }
+}
+
+impl CampaignEngine {
+    /// An engine with an unbounded shared boot cache.
+    pub fn new() -> Self {
+        CampaignEngine {
+            cache: BootCache::new(),
+        }
+    }
+
+    /// An engine whose shared cache evicts least-recently-used templates
+    /// beyond `cap_bytes` of estimated resident size.
+    pub fn with_cache_capacity(cap_bytes: u64) -> Self {
+        CampaignEngine {
+            cache: BootCache::with_capacity(cap_bytes),
+        }
+    }
+
+    /// The shared boot cache (inspection; trials check out through it).
+    pub fn cache(&self) -> &BootCache {
+        &self.cache
+    }
+
+    /// Runs one cell, streaming snapshots to `sink`.
+    pub fn run_spec(&self, spec: &CampaignSpec, sink: &mut dyn TelemetrySink) -> CellResult {
+        match spec.mode {
+            ExecMode::Sharded => self.run_sharded(spec, sink),
+            ExecMode::Sampled {
+                windows,
+                sampling,
+                steer_handler,
+                depth_cycle,
+            } => self.run_sampled(spec, windows, sampling, steer_handler, depth_cycle, sink),
+        }
+    }
+
+    /// Runs a whole suite in a dependency-respecting order (stable: among
+    /// ready jobs, submission order wins), sharing the boot cache across
+    /// every cell. Validates the graph before running anything.
+    pub fn run_suite(
+        &self,
+        suite: &SuiteSpec,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<Vec<JobOutcome>, SuiteError> {
+        let order = suite_order(suite)?;
+        let mut outcomes = Vec::with_capacity(order.len());
+        for idx in order {
+            let job = &suite.jobs[idx];
+            let cell = self.run_spec(&job.spec, sink);
+            outcomes.push(JobOutcome {
+                name: job.spec.name.clone(),
+                cell,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// The cache-activity delta a cell reports: real deltas when the cell
+    /// used the cache, all-zero under cold boot (matching the legacy
+    /// path, which reports zeros for cold campaigns).
+    fn cache_delta(&self, boot: BootMode, before: &CacheCounters) -> CacheCounters {
+        match boot {
+            BootMode::Warm => self.cache.counters().since(before),
+            BootMode::Cold => CacheCounters::default(),
+        }
+    }
+
+    fn run_sharded(&self, spec: &CampaignSpec, sink: &mut dyn TelemetrySink) -> CellResult {
+        let trials = spec.trials;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(trials.max(1) as usize);
+        let batch = match spec.stop {
+            StopPolicy::AtConfidence { check_every, .. } => check_every.max(1),
+            StopPolicy::FixedTrials => {
+                if spec.snapshot_every > 0 {
+                    spec.snapshot_every
+                } else {
+                    trials.max(1)
+                }
+            }
+        };
+        let before = self.cache.counters();
+        let started = Instant::now();
+
+        let mut results: Vec<TrialResult> = Vec::new();
+        let mut setup_nanos = 0u64;
+        let mut run_nanos = 0u64;
+        // Seed-ordered prefix scan state for the stop policy.
+        let mut scan_detected = 0u64;
+        let mut scan_successes = 0u64;
+        let mut scanned = 0usize;
+        let mut stopped_at: Option<u64> = None;
+
+        let mut start = 0u64;
+        while start < trials && stopped_at.is_none() {
+            let end = (start + batch).min(trials);
+            let next = AtomicU64::new(start);
+            let mut batch_results: Vec<(u64, TrialResult)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mech = spec.mechanism.build();
+                            let mut out: Vec<(u64, TrialResult)> = Vec::new();
+                            let mut setup_ns = 0u64;
+                            let mut run_ns = 0u64;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= end {
+                                    break;
+                                }
+                                let cfg = TrialConfig::new(spec.setup, spec.fault, spec.seed + i);
+                                let t0 = Instant::now();
+                                let (hv, layout) = match spec.boot {
+                                    BootMode::Warm => {
+                                        self.cache.checkout(&cfg.machine, cfg.setup, cfg.seed)
+                                    }
+                                    BootMode::Cold => {
+                                        build_system(cfg.machine.clone(), cfg.setup, cfg.seed)
+                                    }
+                                };
+                                setup_ns += elapsed_nanos(t0);
+                                let t1 = Instant::now();
+                                let r = run_trial_on(hv, &layout, &cfg, mech.as_ref());
+                                run_ns += elapsed_nanos(t1);
+                                out.push((i, r));
+                            }
+                            (out, setup_ns, run_ns)
+                        })
+                    })
+                    .collect();
+                let mut batch_out = Vec::with_capacity((end - start) as usize);
+                for h in handles {
+                    let (out, setup_ns, run_ns) = h.join().expect("engine worker panicked");
+                    batch_out.extend(out);
+                    setup_nanos += setup_ns;
+                    run_nanos += run_ns;
+                }
+                batch_out
+            });
+            // Batches cover contiguous index ranges, so sorting each batch
+            // keeps the whole vector seed-ordered.
+            batch_results.sort_by_key(|(i, _)| *i);
+            results.extend(batch_results.into_iter().map(|(_, r)| r));
+
+            // Advance the seed-ordered prefix scan; under
+            // stop-at-confidence, halt at the exact first crossing trial.
+            while scanned < results.len() {
+                match &results[scanned].class {
+                    TrialClass::RecoverySuccess { .. } => {
+                        scan_detected += 1;
+                        scan_successes += 1;
+                    }
+                    TrialClass::RecoveryFailure(_) => scan_detected += 1,
+                    TrialClass::NonManifested | TrialClass::Sdc => {}
+                }
+                scanned += 1;
+                if let StopPolicy::AtConfidence {
+                    halfwidth,
+                    min_detected,
+                    ..
+                } = spec.stop
+                {
+                    if scan_detected >= min_detected
+                        && Proportion::new(scan_successes, scan_detected).wilson_halfwidth_95()
+                            <= halfwidth
+                    {
+                        stopped_at = Some(scanned as u64);
+                        break;
+                    }
+                }
+            }
+
+            start = end;
+            if start < trials && stopped_at.is_none() {
+                sink.snapshot(&self.sharded_snapshot(
+                    spec,
+                    results.len() as u64,
+                    &before,
+                    started,
+                    None,
+                    false,
+                    &results,
+                ));
+            }
+        }
+
+        let executed = stopped_at.unwrap_or(results.len() as u64);
+        results.truncate(executed as usize);
+        let wall_secs = started.elapsed().as_secs_f64();
+        let cache = self.cache_delta(spec.boot, &before);
+
+        let mechanism = spec.mechanism.build().name().to_string();
+        let mut shard = Shard::new(mechanism);
+        for r in &results {
+            shard.add(r);
+        }
+        shard.add_nanos(setup_nanos, run_nanos);
+        let result = shard.into_result(spec.fault, executed, spec.boot, threads, wall_secs, cache);
+
+        sink.snapshot(
+            &self.sharded_snapshot(spec, executed, &before, started, stopped_at, true, &results),
+        );
+        CellResult {
+            output: CellOutput::Sharded(result),
+            executed,
+            stopped_at,
+            cache,
+            per_trial: results,
+        }
+    }
+
+    /// Builds a snapshot from the seed-ordered prefix `results[..done]`.
+    #[allow(clippy::too_many_arguments)]
+    fn sharded_snapshot(
+        &self,
+        spec: &CampaignSpec,
+        done: u64,
+        before: &CacheCounters,
+        started: Instant,
+        stopped_at: Option<u64>,
+        is_final: bool,
+        results: &[TrialResult],
+    ) -> CampaignSnapshot {
+        let mut detected = 0u64;
+        let mut successes = 0u64;
+        for r in &results[..done as usize] {
+            match &r.class {
+                TrialClass::RecoverySuccess { .. } => {
+                    detected += 1;
+                    successes += 1;
+                }
+                TrialClass::RecoveryFailure(_) => detected += 1,
+                TrialClass::NonManifested | TrialClass::Sdc => {}
+            }
+        }
+        CampaignSnapshot {
+            job: spec.name.clone(),
+            trials_done: done,
+            trials_target: spec.trials,
+            detected,
+            successes,
+            done: is_final,
+            stopped_at,
+            cache: self.cache_delta(spec.boot, before),
+            wall_secs: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn run_sampled(
+        &self,
+        spec: &CampaignSpec,
+        windows: usize,
+        sampling: crate::coverage::SamplingMode,
+        steer_handler: Option<nlh_hv::HandlerKind>,
+        depth_cycle: u64,
+        sink: &mut dyn TelemetrySink,
+    ) -> CellResult {
+        let mech = spec.mechanism.build();
+        let before = self.cache.counters();
+        let started = Instant::now();
+        let cadence = match spec.stop {
+            StopPolicy::AtConfidence { check_every, .. } => check_every.max(1),
+            StopPolicy::FixedTrials => spec.snapshot_every,
+        };
+        let mut stopped_at: Option<u64> = None;
+        let sampled = {
+            let stopped_at = &mut stopped_at;
+            let mut after_trial = |done: u64, detected: u64, successes: u64| {
+                let stop = match spec.stop {
+                    StopPolicy::AtConfidence {
+                        halfwidth,
+                        min_detected,
+                        ..
+                    } => {
+                        detected >= min_detected
+                            && Proportion::new(successes, detected).wilson_halfwidth_95()
+                                <= halfwidth
+                    }
+                    StopPolicy::FixedTrials => false,
+                };
+                if stop {
+                    *stopped_at = Some(done);
+                }
+                if !stop && cadence > 0 && done.is_multiple_of(cadence) && done < spec.trials {
+                    sink.snapshot(&CampaignSnapshot {
+                        job: spec.name.clone(),
+                        trials_done: done,
+                        trials_target: spec.trials,
+                        detected,
+                        successes,
+                        done: false,
+                        stopped_at: None,
+                        cache: self.cache_delta(spec.boot, &before),
+                        wall_secs: started.elapsed().as_secs_f64(),
+                    });
+                }
+                stop
+            };
+            run_sampled_campaign_in(
+                &self.cache,
+                spec.setup,
+                spec.fault,
+                mech.as_ref(),
+                spec.seed,
+                spec.trials,
+                windows,
+                sampling,
+                steer_handler,
+                depth_cycle,
+                &mut after_trial,
+            )
+        };
+        let executed = sampled.trials;
+        let cache = self.cache_delta(spec.boot, &before);
+        sink.snapshot(&CampaignSnapshot {
+            job: spec.name.clone(),
+            trials_done: executed,
+            trials_target: spec.trials,
+            detected: sampled.successes + sampled.failures,
+            successes: sampled.successes,
+            done: true,
+            stopped_at,
+            cache,
+            wall_secs: started.elapsed().as_secs_f64(),
+        });
+        CellResult {
+            output: CellOutput::Sampled(sampled),
+            executed,
+            stopped_at,
+            cache,
+            per_trial: Vec::new(),
+        }
+    }
+}
+
+/// Validates a suite's job graph and returns a deterministic
+/// dependency-respecting execution order (indices into `suite.jobs`).
+fn suite_order(suite: &SuiteSpec) -> Result<Vec<usize>, SuiteError> {
+    let mut names = BTreeSet::new();
+    for job in &suite.jobs {
+        if !names.insert(job.spec.name.as_str()) {
+            return Err(SuiteError::DuplicateJob(job.spec.name.clone()));
+        }
+    }
+    for job in &suite.jobs {
+        for dep in &job.after {
+            if !names.contains(dep.as_str()) {
+                return Err(SuiteError::UnknownDependency {
+                    job: job.spec.name.clone(),
+                    dep: dep.clone(),
+                });
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(suite.jobs.len());
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let mut placed = vec![false; suite.jobs.len()];
+    while order.len() < suite.jobs.len() {
+        let ready = suite.jobs.iter().enumerate().position(|(i, job)| {
+            !placed[i] && job.after.iter().all(|dep| done.contains(dep.as_str()))
+        });
+        match ready {
+            Some(i) => {
+                placed[i] = true;
+                done.insert(suite.jobs[i].spec.name.as_str());
+                order.push(i);
+            }
+            None => {
+                let stuck: Vec<String> = suite
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !placed[*i])
+                    .map(|(_, j)| j.spec.name.clone())
+                    .collect();
+                return Err(SuiteError::Cycle(stuck));
+            }
+        }
+    }
+    Ok(order)
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{BenchKind, SetupKind};
+    use crate::stream::{MemorySink, NullSink};
+    use nlh_inject::FaultType;
+
+    fn spec(name: &str, trials: u64) -> CampaignSpec {
+        CampaignSpec::new(
+            name,
+            SetupKind::OneAppVm(BenchKind::UnixBench),
+            FaultType::Failstop,
+            trials,
+        )
+    }
+
+    #[test]
+    fn suite_order_respects_dependencies_and_submission_order() {
+        let mut suite = SuiteSpec::default();
+        suite.push_after(spec("c", 1), &["a", "b"]);
+        suite.push(spec("a", 1));
+        suite.push(spec("b", 1));
+        let order = suite_order(&suite).unwrap();
+        assert_eq!(order, vec![1, 2, 0], "a then b (submission order), then c");
+    }
+
+    #[test]
+    fn suite_order_rejects_bad_graphs() {
+        let mut dup = SuiteSpec::default();
+        dup.push(spec("a", 1));
+        dup.push(spec("a", 1));
+        assert_eq!(suite_order(&dup), Err(SuiteError::DuplicateJob("a".into())));
+
+        let mut unknown = SuiteSpec::default();
+        unknown.push_after(spec("a", 1), &["ghost"]);
+        assert!(matches!(
+            suite_order(&unknown),
+            Err(SuiteError::UnknownDependency { .. })
+        ));
+
+        let mut cyc = SuiteSpec::default();
+        cyc.push_after(spec("a", 1), &["b"]);
+        cyc.push_after(spec("b", 1), &["a"]);
+        assert_eq!(
+            suite_order(&cyc),
+            Err(SuiteError::Cycle(vec!["a".into(), "b".into()]))
+        );
+    }
+
+    #[test]
+    fn engine_runs_a_cell_and_streams_a_final_snapshot() {
+        let engine = CampaignEngine::new();
+        let mut sink = MemorySink::default();
+        let cell = engine.run_spec(&spec("cell", 8), &mut sink);
+        assert_eq!(cell.executed, 8);
+        assert_eq!(cell.stopped_at, None);
+        let r = cell.sharded().expect("sharded cell");
+        assert_eq!(r.trials, 8);
+        assert_eq!(cell.per_trial.len(), 8);
+        let last = sink.snapshots.last().expect("final snapshot");
+        assert!(last.done);
+        assert_eq!(last.trials_done, 8);
+        assert_eq!(last.detected, r.detected);
+        assert_eq!(last.successes, r.successes);
+        assert_eq!(cell.cache.misses, 1, "first cell builds the template");
+        assert_eq!(cell.cache.hits, 7);
+    }
+
+    #[test]
+    fn second_cell_reuses_the_shared_template() {
+        let engine = CampaignEngine::new();
+        let first = engine.run_spec(&spec("first", 4), &mut NullSink);
+        let second = engine.run_spec(&spec("second", 4), &mut NullSink);
+        assert_eq!(first.cache.misses, 1);
+        assert_eq!(second.cache.misses, 0, "template already resident");
+        assert_eq!(second.cache.hits, 4);
+    }
+
+    #[test]
+    fn snapshot_cadence_emits_intermediate_snapshots() {
+        let engine = CampaignEngine::new();
+        let mut sink = MemorySink::default();
+        let mut s = spec("cell", 9);
+        s.snapshot_every = 4;
+        engine.run_spec(&s, &mut sink);
+        let dones: Vec<u64> = sink.snapshots.iter().map(|s| s.trials_done).collect();
+        assert_eq!(dones, vec![4, 8, 9]);
+        assert!(!sink.snapshots[0].done && sink.snapshots[2].done);
+    }
+}

@@ -6,7 +6,10 @@ use nlh_inject::FaultType;
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::{run_campaign_with, BootMode, CampaignResult};
+use crate::engine::CampaignEngine;
 use crate::setup::{BenchKind, SetupKind};
+use crate::spec::{CampaignSpec, MechanismSpec};
+use crate::stream::NullSink;
 
 /// One row of the reproduced Table I.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,6 +44,39 @@ pub fn run_ladder_with(
                 move || Microreset::with_enhancements(rung.enhancements()),
                 boot_mode,
             );
+            LadderRow { rung, result }
+        })
+        .collect()
+}
+
+/// [`run_ladder_with`] executed on a resident [`CampaignEngine`]: all
+/// eight rung campaigns target the same `(machine, setup)` key, so the
+/// engine's shared cache builds the boot template once instead of once
+/// per rung. Results are bit-identical to [`run_ladder_with`] (the
+/// equivalence suite pins this).
+pub fn run_ladder_on(
+    engine: &CampaignEngine,
+    trials_per_rung: u64,
+    base_seed: u64,
+    boot_mode: BootMode,
+) -> Vec<LadderRow> {
+    LadderRung::ALL
+        .iter()
+        .map(|&rung| {
+            let mut spec = CampaignSpec::new(
+                format!("ladder-{}", rung.name()),
+                SetupKind::OneAppVm(BenchKind::UnixBench),
+                FaultType::Failstop,
+                trials_per_rung,
+            );
+            spec.seed = base_seed;
+            spec.mechanism = MechanismSpec::Rung(rung);
+            spec.boot = boot_mode;
+            let cell = engine.run_spec(&spec, &mut NullSink);
+            let result = match cell.output {
+                crate::engine::CellOutput::Sharded(r) => r,
+                crate::engine::CellOutput::Sampled(_) => unreachable!("ladder cells are sharded"),
+            };
             LadderRow { rung, result }
         })
         .collect()

@@ -20,27 +20,37 @@ mod boot_cache;
 mod campaign;
 mod classify;
 mod coverage;
+mod engine;
 mod ladder;
 mod overhead;
 mod record;
 mod setup;
+mod spec;
+mod stream;
 mod trial;
 
 pub use bisect::{bisect_trials, first_divergence, BisectReport, DivergenceSide};
-pub use boot_cache::BootCache;
+pub use boot_cache::{BootCache, CacheCounters};
 pub use campaign::{run_campaign, run_campaign_with, BootMode, CampaignResult, CampaignTelemetry};
 pub use classify::{classify, netbench_affected, TrialClass};
 pub use coverage::{
-    run_sampled_campaign, run_sampled_campaign_steered, run_sampled_campaign_steered_depth,
-    CoverageMap, SampledCampaign, SamplingMode, DEFAULT_OPS_WINDOWS,
+    run_sampled_campaign, run_sampled_campaign_in, run_sampled_campaign_steered,
+    run_sampled_campaign_steered_depth, CoverageMap, SampledCampaign, SamplingMode,
+    DEFAULT_OPS_WINDOWS,
 };
-pub use ladder::{run_ladder, run_ladder_with, LadderRow};
+pub use engine::{CampaignEngine, CellOutput, CellResult, JobOutcome, SuiteError};
+pub use ladder::{run_ladder, run_ladder_on, run_ladder_with, LadderRow};
 pub use overhead::{measure_hv_cycles, overhead_percent, OverheadPoint};
 pub use record::{
     mechanism_for_name, EventRing, RecordedOutcome, TrialEvent, TrialEventKind, TrialRecord,
     EVENT_RING_CAPACITY,
 };
 pub use setup::{build_system, reseed_system, BenchKind, SetupKind, SystemLayout};
+pub use spec::{
+    parse_handler, parse_setup, setup_manifest_name, CampaignSpec, ExecMode, JobSpec,
+    MechanismSpec, StopPolicy, SuiteSpec,
+};
+pub use stream::{CampaignSnapshot, MemorySink, NullSink, TelemetrySink};
 pub use trial::{
     run_trial, run_trial_on, run_trial_on_unbatched, run_trial_recorded, run_trial_warm,
     run_trial_with, TrialConfig, TrialObservations, TrialResult, TrialRunOptions, MAX_TRIGGER_OPS,

@@ -165,6 +165,29 @@ impl LadderRung {
         }
     }
 
+    /// The rung's short machine-readable name: the variant identifier, as
+    /// `Debug` prints it. Stable across releases — campaign suite manifests
+    /// name rungs with these.
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderRung::Basic => "Basic",
+            LadderRung::ClearIrqCount => "ClearIrqCount",
+            LadderRung::ReHypeMechanisms => "ReHypeMechanisms",
+            LadderRung::SchedConsistency => "SchedConsistency",
+            LadderRung::ReprogramTimer => "ReprogramTimer",
+            LadderRung::UnlockStaticLocks => "UnlockStaticLocks",
+            LadderRung::ReactivateTimerEvents => "ReactivateTimerEvents",
+            LadderRung::VirtqueueConsistency => "VirtqueueConsistency",
+        }
+    }
+
+    /// Parses the name produced by [`LadderRung::name`] (the `Debug`
+    /// variant identifier). The inverse lookup used when a campaign suite
+    /// manifest names a rung-capped mechanism.
+    pub fn from_name(s: &str) -> Option<LadderRung> {
+        LadderRung::ALL.into_iter().find(|r| r.name() == s)
+    }
+
     /// The paper's measured recovery rate for this rung, when reported.
     pub fn paper_rate(self) -> Option<f64> {
         match self {
@@ -260,6 +283,15 @@ mod tests {
     #[test]
     fn basic_rung_is_none() {
         assert_eq!(LadderRung::Basic.enhancements(), Enhancements::none());
+    }
+
+    #[test]
+    fn rung_names_round_trip() {
+        for rung in LadderRung::ALL {
+            assert_eq!(LadderRung::from_name(rung.name()), Some(rung));
+            assert_eq!(rung.name(), format!("{rung:?}"));
+        }
+        assert_eq!(LadderRung::from_name("NoSuchRung"), None);
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! Defaults: 40 trials per cell, 8 windows, seed 2018.
 
 use nlh_campaign::{
-    run_sampled_campaign_steered, SampledCampaign, SamplingMode, SetupKind, DEFAULT_OPS_WINDOWS,
+    CampaignEngine, CampaignSpec, CellOutput, ExecMode, MechanismSpec, NullSink, SampledCampaign,
+    SamplingMode, SetupKind, DEFAULT_OPS_WINDOWS,
 };
-use nlh_core::{LadderRung, Microreset};
+use nlh_core::LadderRung;
 use nlh_experiments::hr;
 use nlh_hv::HandlerKind;
 use nlh_inject::FaultType;
@@ -58,22 +59,37 @@ fn parse_args() -> Args {
     out
 }
 
-fn run_cell(fault: FaultType, rung: LadderRung, args: &Args) -> SampledCampaign {
-    let mech = Microreset::with_enhancements(rung.enhancements());
-    run_sampled_campaign_steered(
+fn run_cell(
+    engine: &CampaignEngine,
+    fault: FaultType,
+    rung: LadderRung,
+    args: &Args,
+) -> SampledCampaign {
+    let mut spec = CampaignSpec::new(
+        format!("device-{}-{fault}", rung.name()),
         SetupKind::TwoAppVmVswitch,
         fault,
-        &mech,
-        args.seed,
         args.trials,
-        args.windows,
-        SamplingMode::CoverageGuided,
-        Some(HandlerKind::VirtioMmio),
-    )
+    );
+    spec.seed = args.seed;
+    spec.mechanism = MechanismSpec::Rung(rung);
+    spec.mode = ExecMode::Sampled {
+        windows: args.windows,
+        sampling: SamplingMode::CoverageGuided,
+        steer_handler: Some(HandlerKind::VirtioMmio),
+        depth_cycle: 1,
+    };
+    match engine.run_spec(&spec, &mut NullSink).output {
+        CellOutput::Sampled(s) => s,
+        CellOutput::Sharded(_) => unreachable!("sampled cell"),
+    }
 }
 
 fn main() {
     let args = parse_args();
+    // One resident engine: all six cells share the 2AppVM-vswitch boot
+    // template (one build instead of six).
+    let engine = CampaignEngine::new();
     println!("Device-heavy steered campaign: virtqueue-consistency rung on/off");
     println!(
         "(2AppVM vswitch, faults steered into VirtioMmio, {} trials/cell, seed {})",
@@ -87,8 +103,8 @@ fn main() {
 
     let mut last_on: Option<SampledCampaign> = None;
     for fault in FaultType::ALL {
-        let off = run_cell(fault, LadderRung::ReactivateTimerEvents, &args);
-        let on = run_cell(fault, LadderRung::VirtqueueConsistency, &args);
+        let off = run_cell(&engine, fault, LadderRung::ReactivateTimerEvents, &args);
+        let on = run_cell(&engine, fault, LadderRung::VirtqueueConsistency, &args);
         println!(
             "{:<10} {:>14} {:>14} {:>8}",
             fault.to_string(),

@@ -21,10 +21,9 @@
 //! Defaults: 20 trials per fault per cell, 8 windows, seed 2018.
 
 use nlh_campaign::{
-    run_sampled_campaign, run_sampled_campaign_steered_depth, SampledCampaign, SamplingMode,
-    SetupKind, DEFAULT_OPS_WINDOWS,
+    CampaignEngine, CampaignSpec, CellOutput, ExecMode, MechanismSpec, NullSink, SampledCampaign,
+    SamplingMode, SetupKind, DEFAULT_OPS_WINDOWS,
 };
-use nlh_core::{Enhancements, Microreset};
 use nlh_experiments::hr;
 use nlh_hv::HandlerKind;
 use nlh_inject::FaultType;
@@ -104,12 +103,42 @@ fn fmt_cell(successes: u64, failures: u64) -> String {
     )
 }
 
+/// Runs one sampled cell on the resident engine (so every cell of a ratio
+/// shares that ratio's boot template).
+fn run_cell(
+    engine: &CampaignEngine,
+    args: &Args,
+    setup: SetupKind,
+    fault: FaultType,
+    mechanism: MechanismSpec,
+    steer: Option<HandlerKind>,
+    depth_cycle: u64,
+) -> SampledCampaign {
+    let mut spec = CampaignSpec::new(
+        format!("overcommit-{setup:?}-{}-{fault}", mechanism.manifest_name()),
+        setup,
+        fault,
+        args.trials,
+    );
+    spec.seed = args.seed;
+    spec.mechanism = mechanism;
+    spec.mode = ExecMode::Sampled {
+        windows: args.windows,
+        sampling: SamplingMode::CoverageGuided,
+        steer_handler: steer,
+        depth_cycle,
+    };
+    match engine.run_spec(&spec, &mut NullSink).output {
+        CellOutput::Sampled(s) => s,
+        CellOutput::Sharded(_) => unreachable!("sampled cell"),
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let full = Microreset::nilihype();
-    let mut no_sched = Enhancements::full();
-    no_sched.sched_consistency = false;
-    let no_sched = Microreset::with_enhancements(no_sched);
+    // One resident engine: the nine cells of each ratio (three axes, three
+    // fault types) share a single boot template build.
+    let engine = CampaignEngine::new();
 
     println!("Overcommit campaign: recovery rate vs vCPU:pCPU ratio");
     println!(
@@ -132,40 +161,36 @@ fn main() {
             "-".into()
         } else {
             let (s, f, _) = sum_cells(|fault| {
-                run_sampled_campaign(
+                run_cell(
+                    &engine,
+                    &args,
                     setup,
                     fault,
-                    &full,
-                    args.seed,
-                    args.trials,
-                    args.windows,
-                    SamplingMode::CoverageGuided,
+                    MechanismSpec::Nilihype,
+                    None,
+                    1,
                 )
             });
             fmt_cell(s, f)
         };
         let (off_s, off_f, _) = sum_cells(|fault| {
-            run_sampled_campaign_steered_depth(
+            run_cell(
+                &engine,
+                &args,
                 setup,
                 fault,
-                &no_sched,
-                args.seed,
-                args.trials,
-                args.windows,
-                SamplingMode::CoverageGuided,
+                MechanismSpec::NilihypeNoSchedFix,
                 Some(HandlerKind::Scheduler),
                 STEER_DEPTH_CYCLE,
             )
         });
         let (on_s, on_f, on_last) = sum_cells(|fault| {
-            run_sampled_campaign_steered_depth(
+            run_cell(
+                &engine,
+                &args,
                 setup,
                 fault,
-                &full,
-                args.seed,
-                args.trials,
-                args.windows,
-                SamplingMode::CoverageGuided,
+                MechanismSpec::Nilihype,
                 Some(HandlerKind::Scheduler),
                 STEER_DEPTH_CYCLE,
             )

@@ -3,7 +3,13 @@
 //! For each cumulative enhancement rung, runs a 1AppVM / UnixBench /
 //! fail-stop campaign and reports the successful recovery rate, next to the
 //! paper's measured value. Paper scale: ~1000 trials per rung.
+//!
+//! The eight rung campaigns are submitted to one resident
+//! [`nlh_campaign::CampaignEngine`], so the boot template is built once
+//! and shared across every rung (results are bit-identical to the legacy
+//! per-campaign path).
 
+use nlh_campaign::CampaignEngine;
 use nlh_experiments::{hr, pct, print_latency, print_throughput, ExpOptions};
 
 fn main() {
@@ -14,7 +20,8 @@ fn main() {
     hr();
     println!("{:55} {:>12} {:>8}", "Mechanism", "Measured", "Paper");
     hr();
-    let rows = nlh_campaign::run_ladder_with(trials, opts.seed, opts.boot_mode());
+    let engine = CampaignEngine::new();
+    let rows = nlh_campaign::run_ladder_on(&engine, trials, opts.seed, opts.boot_mode());
     for row in &rows {
         let paper = row
             .rung

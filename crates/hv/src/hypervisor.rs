@@ -616,6 +616,36 @@ impl Hypervisor {
         self.steps
     }
 
+    /// A coarse estimate of this machine's host-resident footprint in
+    /// bytes, dominated by the per-page-frame descriptors and the
+    /// per-domain page lists. The boot cache uses this to account for
+    /// cached templates under its LRU byte cap; it only needs to rank
+    /// template sizes consistently, not to match the allocator byte for
+    /// byte. Deterministic for a given machine/setup (it reads container
+    /// lengths, never capacities or host pointers).
+    pub fn estimated_template_bytes(&self) -> u64 {
+        // Rough per-element descriptor sizes; fixed so the estimate is
+        // stable across hosts and rustc layouts.
+        const PAGE_DESC: u64 = 48;
+        const PER_CPU: u64 = 512;
+        const PER_DOMAIN: u64 = 1024;
+        const PER_TIMER_OR_LOCK: u64 = 64;
+        let pages = self.config.num_pages() as u64;
+        let owned: u64 = self
+            .domains
+            .iter()
+            .map(|d| (d.owned_pages.len() + d.pinned_pages.len()) as u64 * 8)
+            .sum();
+        let queued: u64 = self.create_queue.len() as u64 * PER_DOMAIN;
+        pages * PAGE_DESC
+            + owned
+            + self.percpu.len() as u64 * PER_CPU
+            + self.domains.len() as u64 * PER_DOMAIN
+            + queued
+            + (self.locks.len() + self.timers.total_len()) as u64 * PER_TIMER_OR_LOCK
+            + self.virtio.devices.len() as u64 * 4096
+    }
+
     /// Number of physical CPUs.
     pub fn num_cpus(&self) -> usize {
         self.config.num_cpus

@@ -13,7 +13,8 @@
 //! them) and update the tables below.
 
 use nilihype::campaign::{
-    run_campaign, run_ladder, run_sampled_campaign_steered, SamplingMode, SetupKind,
+    run_campaign, run_ladder, run_ladder_on, run_sampled_campaign_steered, BootMode,
+    CampaignEngine, CampaignSpec, ExecMode, MechanismSpec, NullSink, SamplingMode, SetupKind,
 };
 use nilihype::hv::HandlerKind;
 use nilihype::inject::FaultType;
@@ -118,6 +119,93 @@ fn golden_device_campaign_ring_repair_counts() {
             "{fault}: ring-consistency rung must raise the recovery rate"
         );
     }
+}
+
+/// The resident engine path (shared boot cache, batched sharding, one
+/// template build for the whole ladder) must land on the same goldens as
+/// the legacy per-campaign path above — the `campaign_server` CI suite
+/// leans on exactly this equivalence.
+#[test]
+fn golden_engine_table1_ladder_counts() {
+    let engine = CampaignEngine::new();
+    let rows = run_ladder_on(&engine, 40, 2018, BootMode::Warm);
+    assert_eq!(rows.len(), GOLDEN_LADDER.len());
+    for (row, &(idx, detected, successes, no_vmf)) in rows.iter().zip(&GOLDEN_LADDER) {
+        assert_eq!(
+            (
+                idx,
+                row.result.detected,
+                row.result.successes,
+                row.result.no_vmf
+            ),
+            (idx, detected, successes, no_vmf),
+            "engine ladder rung {:?} drifted (index, detected, successes, no_vmf)",
+            row.rung
+        );
+    }
+    // The engine built the 1AppVM template once; all other checkouts of
+    // the eight rungs were warm hits on the shared cache.
+    let stats = engine.cache().counters();
+    assert_eq!(stats.misses, 1, "ladder shares one template build");
+    assert_eq!(stats.hits, 8 * 40 - 1);
+}
+
+/// Figure 2 through the engine: same goldens, and the per-fault cells of
+/// both mechanisms all reuse one 3AppVM template.
+#[test]
+fn golden_engine_fig2_counts() {
+    let engine = CampaignEngine::new();
+    for mechanism in [MechanismSpec::Nilihype, MechanismSpec::Rehype] {
+        for &(fault, expect) in &GOLDEN_FIG2 {
+            let mut spec = CampaignSpec::new(
+                format!("fig2-{}-{fault}", mechanism.manifest_name()),
+                SetupKind::ThreeAppVm,
+                fault,
+                30,
+            );
+            spec.seed = 77;
+            spec.mechanism = mechanism;
+            let cell = engine.run_spec(&spec, &mut NullSink);
+            let r = cell.sharded().expect("sharded cell");
+            let got = [r.non_manifested, r.sdc, r.detected, r.successes, r.no_vmf];
+            assert_eq!(
+                got,
+                expect,
+                "engine fig2 {} {fault} drifted (non_manifested, sdc, detected, successes, no_vmf)",
+                mechanism.manifest_name()
+            );
+        }
+    }
+    assert_eq!(engine.cache().counters().misses, 1, "six cells, one build");
+}
+
+/// One device-campaign cell (sampled, steered) through the engine: the
+/// Failstop ring-repair row of `GOLDEN_DEVICE`.
+#[test]
+fn golden_engine_device_campaign_failstop() {
+    let engine = CampaignEngine::new();
+    let mut spec = CampaignSpec::new(
+        "device-failstop",
+        SetupKind::TwoAppVmVswitch,
+        FaultType::Failstop,
+        20,
+    );
+    spec.seed = 2018;
+    spec.mechanism = MechanismSpec::Rung(LadderRung::VirtqueueConsistency);
+    spec.mode = ExecMode::Sampled {
+        windows: 8,
+        sampling: SamplingMode::CoverageGuided,
+        steer_handler: Some(HandlerKind::VirtioMmio),
+        depth_cycle: 1,
+    };
+    let cell = engine.run_spec(&spec, &mut NullSink);
+    let s = cell.sampled().expect("sampled cell");
+    let (fault, detected, _, with) = GOLDEN_DEVICE[0];
+    assert_eq!(
+        (s.successes + s.failures, s.successes),
+        (detected, with),
+        "engine device campaign {fault} drifted (detected, successes)"
+    );
 }
 
 #[test]
