@@ -147,6 +147,36 @@ fn overcommit_datapath_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn counting_window_steady_state_allocates_nothing() {
+    // The injector's counting window (`run_counting`) rides the batched
+    // superop path since PR 10; a trial spends its whole pre-fire window
+    // here, so it gets the same exact-zero pin as the plain batched loop.
+    // The never-firing budget keeps the window open for the whole
+    // measurement.
+    let (mut hv, _layout) = build_system(
+        MachineConfig::small(),
+        SetupKind::OneAppVm(BenchKind::UnixBench),
+        2018,
+    );
+    run_steps(&mut hv, 500_000);
+
+    let before_steps = hv.steps_executed();
+    let before_allocs = ALLOCS.load(Ordering::Relaxed);
+    while hv.steps_executed() - before_steps < 300_000 {
+        assert!(hv.detection().is_none(), "healthy run must not detect");
+        hv.run_counting(hv.now() + SimDuration::from_millis(50), u64::MAX, None, 0);
+    }
+    let steps = hv.steps_executed() - before_steps;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before_allocs;
+
+    assert_eq!(
+        allocs, 0,
+        "the counting window must not allocate: {allocs} allocations over \
+         {steps} steps"
+    );
+}
+
+#[test]
 fn pooling_off_reproduces_the_old_allocation_behaviour() {
     let (mut hv, _layout) = build_system(
         MachineConfig::small(),

@@ -332,19 +332,28 @@ pub fn run_trial_with(
         } else {
             // Pick the stepping strategy for this phase of the injector.
             // `on_step` is a pure no-op while Waiting (below `fire_at`) and
-            // after Done, so those stretches run batched; only the
-            // micro-op-counting phase in between needs a call per step.
+            // after Done, so those stretches run batched; the micro-op
+            // counting phase in between runs batched too, through the
+            // superop engine (`Injector::run_counting`), which replays the
+            // counting automaton in bulk and splits the batch exactly at
+            // the fire index.
+            let mut injected_now = false;
             let stepped = if opts.batched && injector.is_done() {
                 hv.run_until(trial_end);
                 None
             } else if opts.batched && injector.is_waiting() {
                 hv.run_until_marker(trial_end, injector.fire_at())
+            } else if opts.batched {
+                injected_now = injector.run_counting(&mut hv, trial_end);
+                None
             } else {
                 Some(hv.step_any())
             };
+            let mut check_class = injected_now;
             if let Some((cpu, out)) = stepped {
                 let was_waiting = injector.is_waiting();
-                let injected = injector.on_step(&mut hv, cpu, out);
+                injected_now = injector.on_step(&mut hv, cpu, out);
+                check_class = true;
                 if was_waiting && !injector.is_waiting() {
                     record.events.push(
                         hv.cpu_now(cpu),
@@ -352,44 +361,44 @@ pub fn run_trial_with(
                         format!("ops_budget={}", injector.ops_budget()),
                     );
                 }
-                if injected {
-                    record.injection = injector.injection_point().copied();
-                    if let Some(p) = &record.injection {
-                        record.events.push(
-                            p.at,
-                            TrialEventKind::Injected,
-                            format!(
-                                "cpu={} handler={} op={}/{} outcome={:?}",
-                                p.cpu.index(),
-                                p.handler,
-                                p.op_index,
-                                p.program_len,
-                                injector.outcome()
-                            ),
-                        );
-                    }
+            }
+            if injected_now {
+                record.injection = injector.injection_point().copied();
+                if let Some(p) = &record.injection {
+                    record.events.push(
+                        p.at,
+                        TrialEventKind::Injected,
+                        format!(
+                            "cpu={} handler={} op={}/{} outcome={:?}",
+                            p.cpu.index(),
+                            p.handler,
+                            p.op_index,
+                            p.program_len,
+                            injector.outcome()
+                        ),
+                    );
                 }
-                // Short-circuit: a non-manifested or SDC fault can no
-                // longer trigger detection in this model; the
-                // classification is already determined, so skip simulating
-                // the rest of the run.
-                if hv.detection().is_none() {
-                    let class = match injector.outcome() {
-                        Some(InjectionOutcome::NonManifested) => Some(TrialClass::NonManifested),
-                        Some(InjectionOutcome::Sdc) => Some(TrialClass::Sdc),
-                        _ => None,
+            }
+            // Short-circuit: a non-manifested or SDC fault can no
+            // longer trigger detection in this model; the
+            // classification is already determined, so skip simulating
+            // the rest of the run.
+            if check_class && hv.detection().is_none() {
+                let class = match injector.outcome() {
+                    Some(InjectionOutcome::NonManifested) => Some(TrialClass::NonManifested),
+                    Some(InjectionOutcome::Sdc) => Some(TrialClass::Sdc),
+                    _ => None,
+                };
+                if let Some(class) = class {
+                    let result = TrialResult {
+                        injection: injector.outcome(),
+                        class: class.clone(),
+                        observations: obs,
+                        recovery: None,
+                        steps: hv.steps_executed() - steps_before,
                     };
-                    if let Some(class) = class {
-                        let result = TrialResult {
-                            injection: injector.outcome(),
-                            class: class.clone(),
-                            observations: obs,
-                            recovery: None,
-                            steps: hv.steps_executed() - steps_before,
-                        };
-                        finish_record(&mut record, &result, hv.now_max());
-                        return (result, record, hv);
-                    }
+                    finish_record(&mut record, &result, hv.now_max());
+                    return (result, record, hv);
                 }
             }
         }

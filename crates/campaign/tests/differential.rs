@@ -35,6 +35,9 @@ fn setups() -> impl Strategy<Value = SetupKind> {
         // batched/pooled stepping and warm starts too.
         Just(SetupKind::Overcommit(2)),
         Just(SetupKind::Overcommit(4)),
+        // Virtio vswitch: descriptor-ring handlers and guest-to-guest
+        // forwarding must survive superop fusion bit-for-bit too.
+        Just(SetupKind::TwoAppVmVswitch),
     ]
 }
 
@@ -117,6 +120,35 @@ proptest! {
         let fast = run_trial_on(fast_hv, &layout, &cfg, &mech);
         let reference = run_trial_on_unbatched(ref_hv, &layout, &cfg, &mech);
         prop_assert_eq!(fast, reference);
+    }
+
+    /// Superop dispatch three ways: fused (superops on, the default),
+    /// unfused batched (superops off — every micro-op through the single
+    /// dispatch), and the per-step reference loop, all producing the same
+    /// full [`TrialResult`] across every setup family (including credit
+    /// overcommit and the virtio vswitch) and fault type. `steps`
+    /// participates in the equality, so fused runs, bulk idle windows and
+    /// the batched counting window must execute — and count — the exact
+    /// reference step sequence.
+    #[test]
+    fn superops_equal_unfused_and_reference(
+        seed in 0u64..100_000,
+        setup in setups(),
+        fault in faults(),
+    ) {
+        let mech = Microreset::nilihype();
+        let cfg = TrialConfig::new(setup, fault, seed);
+        let (fused_hv, layout) = build_system(cfg.machine.clone(), cfg.setup, cfg.seed);
+        let (mut plain_hv, _) = build_system(cfg.machine.clone(), cfg.setup, cfg.seed);
+        plain_hv.superops = false;
+        let (mut ref_hv, _) = build_system(cfg.machine.clone(), cfg.setup, cfg.seed);
+        ref_hv.superops = false;
+        ref_hv.pooling = false;
+        let fused = run_trial_on(fused_hv, &layout, &cfg, &mech);
+        let plain = run_trial_on(plain_hv, &layout, &cfg, &mech);
+        let reference = run_trial_on_unbatched(ref_hv, &layout, &cfg, &mech);
+        prop_assert_eq!(&fused, &plain);
+        prop_assert_eq!(fused, reference);
     }
 
     /// Same comparison at the hypervisor level with tracing wide open:

@@ -1,0 +1,61 @@
+//! The three checked-in golden residual logs, re-run through the superop
+//! dispatch path and cross-checked against an unfused execution.
+//!
+//! [`TrialRecord::replay`] drives the standard trial loop, which since the
+//! superop layer fuses micro-op runs, fast-forwards idle windows in bulk
+//! and batches the injector's counting window. Each test here replays one
+//! golden log through that path (any drift in fusion fails the replay's
+//! own bit-identity checks), then runs the same recorded trial with
+//! `Hypervisor::superops` off and asserts the full [`TrialResult`]s are
+//! equal — fused and unfused executions of a recorded residual-failure
+//! trial may not differ in any observable way.
+
+use nlh_campaign::{mechanism_for_name, BootCache, TrialRecord, TrialRunOptions};
+
+fn replay_fused_and_unfused(golden: &str) {
+    let record = TrialRecord::from_text(golden).expect("golden log parses");
+    let mech = mechanism_for_name(&record.mechanism)
+        .unwrap_or_else(|| panic!("golden log names unknown mechanism {}", record.mechanism));
+    let cache = BootCache::new();
+
+    // Superop path: `replay` itself verifies the trigger draws, injection
+    // point, step count and outcome against the record.
+    let fused = record
+        .replay(mech.as_ref(), &cache)
+        .expect("golden trial replays bit-identically through the superop path");
+
+    // Unfused cross-check: same recorded trigger and steering, fusion off.
+    let (mut hv, layout) = cache.checkout(
+        &record.config.machine,
+        record.config.setup,
+        record.config.seed,
+    );
+    hv.superops = false;
+    let opts = TrialRunOptions {
+        trigger_ops: Some(record.trigger_ops),
+        steer_handler: record.steer_handler,
+        steer_depth: record.steer_depth,
+        ..TrialRunOptions::default()
+    };
+    let (unfused, _, _) =
+        nlh_campaign::run_trial_with(hv, &layout, &record.config, mech.as_ref(), opts);
+    assert_eq!(
+        fused, unfused,
+        "superops on/off diverged replaying a golden residual log"
+    );
+}
+
+#[test]
+fn golden_residual_replays_through_superops() {
+    replay_fused_and_unfused(include_str!("data/golden_residual_trial.log"));
+}
+
+#[test]
+fn golden_sched_residual_replays_through_superops() {
+    replay_fused_and_unfused(include_str!("data/golden_sched_residual_trial.log"));
+}
+
+#[test]
+fn golden_virtio_residual_replays_through_superops() {
+    replay_fused_and_unfused(include_str!("data/golden_virtio_residual_trial.log"));
+}

@@ -55,6 +55,18 @@ impl CycleAccounting {
         self.hv_micro_ops += 1;
     }
 
+    /// Charges `count` fused hypervisor micro-ops to `cpu` in one call:
+    /// `cycles` is the *total* across the run and every fused op counts
+    /// toward the injection trigger, exactly as `count` individual
+    /// [`CycleAccounting::charge_hv`] calls with zero logging would.
+    /// Used by the superop dispatcher for fused `Compute` runs (which
+    /// never carry a logging share).
+    pub fn charge_hv_span(&mut self, cpu: CpuId, cycles: Cycles, count: u64) {
+        let c = &mut self.per_cpu[cpu.index()];
+        c.hypervisor += cycles;
+        self.hv_micro_ops += count;
+    }
+
     /// Counters for one CPU.
     pub fn cpu(&self, cpu: CpuId) -> &CpuCounters {
         &self.per_cpu[cpu.index()]
@@ -118,6 +130,17 @@ mod tests {
         assert_eq!(acc.total_guest(), Cycles(100));
         assert_eq!(acc.total_logging(), Cycles(2));
         assert_eq!(acc.hv_micro_ops, 2);
+    }
+
+    #[test]
+    fn span_charge_equals_repeated_single_charges() {
+        let mut one = CycleAccounting::new(1);
+        for _ in 0..7 {
+            one.charge_hv(CpuId(0), Cycles(2500), Cycles::ZERO);
+        }
+        let mut span = CycleAccounting::new(1);
+        span.charge_hv_span(CpuId(0), Cycles(2500 * 7), 7);
+        assert_eq!(one, span);
     }
 
     #[test]

@@ -71,6 +71,13 @@ pub enum HcRequest {
     /// sub-call is logged when batched-completion logging is enabled, so a
     /// retry can skip the already-finished prefix (Section IV).
     Multicall(Vec<HcRequest>),
+    /// A multicall whose sub-call list is one of the fixed shapes the
+    /// bundled workloads issue ([`MulticallShape`]). Semantically identical
+    /// to [`HcRequest::Multicall`] over the same calls — binding, undo and
+    /// completion logging, and commit bookkeeping all route through the
+    /// shared sub-call slice — but the list is a static template, so
+    /// issuing one performs no heap allocation on the guest hot path.
+    FixedMulticall(MulticallShape),
     /// Create a new domain (PrivVM only; static domctl + page-alloc locks).
     DomctlCreate,
     /// Destroy a domain (PrivVM only).
@@ -106,6 +113,7 @@ impl HcRequest {
             | HcRequest::DomctlCreate
             | HcRequest::DomctlDestroy(_) => true,
             HcRequest::Multicall(calls) => calls.iter().any(|c| c.is_non_idempotent()),
+            HcRequest::FixedMulticall(shape) => shape.calls().iter().any(|c| c.is_non_idempotent()),
             HcRequest::EventSend { .. }
             | HcRequest::ConsoleWrite
             | HcRequest::SetTimer
@@ -114,6 +122,57 @@ impl HcRequest {
             | HcRequest::SchedBlock
             | HcRequest::NetReply(_)
             | HcRequest::BlockIo { .. } => false,
+        }
+    }
+
+    /// The sub-call slice when this request is a multicall of either
+    /// variant, `None` otherwise. Every multicall consumer (binding,
+    /// handler emission, commit bookkeeping) goes through this accessor so
+    /// [`HcRequest::Multicall`] and [`HcRequest::FixedMulticall`] are
+    /// bit-identical in behaviour.
+    pub fn multicall_calls(&self) -> Option<&[HcRequest]> {
+        match self {
+            HcRequest::Multicall(calls) => Some(calls),
+            HcRequest::FixedMulticall(shape) => Some(shape.calls()),
+            _ => None,
+        }
+    }
+}
+
+/// The fixed sub-call shapes issued by the bundled workloads through
+/// [`HcRequest::FixedMulticall`].
+///
+/// Workloads used to build these bursts with `Multicall(vec![...])`, which
+/// was the last steady-state heap allocation on the guest hot path (one
+/// `Vec` per burst, millions per campaign — visible as the fractional
+/// `allocs_per_step` in BENCH_stepper.json before PR 10). A shape is
+/// `Copy` and expands to a `'static` slice instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MulticallShape {
+    /// UnixBench's mmap-heavy burst: pin a page-table page, probe the
+    /// hypervisor version, unpin it, and re-arm the one-shot timer.
+    PinProbeUnpinTimer,
+    /// The block workloads' add/remove churn: pin one page, unpin it.
+    PinUnpin,
+}
+
+/// Template for [`MulticallShape::PinProbeUnpinTimer`].
+static PIN_PROBE_UNPIN_TIMER: [HcRequest; 4] = [
+    HcRequest::PinPages(1),
+    HcRequest::XenVersion,
+    HcRequest::UnpinPages(1),
+    HcRequest::SetTimer,
+];
+
+/// Template for [`MulticallShape::PinUnpin`].
+static PIN_UNPIN: [HcRequest; 2] = [HcRequest::PinPages(1), HcRequest::UnpinPages(1)];
+
+impl MulticallShape {
+    /// The sub-calls this shape expands to.
+    pub fn calls(self) -> &'static [HcRequest] {
+        match self {
+            MulticallShape::PinProbeUnpinTimer => &PIN_PROBE_UNPIN_TIMER,
+            MulticallShape::PinUnpin => &PIN_UNPIN,
         }
     }
 }
@@ -428,11 +487,36 @@ impl fmt::Display for HandlerKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum ProgramBody {
     /// A precompiled template shared by every instance of a fixed-shape
-    /// handler (e.g. the forwarded-syscall path).
-    Static(&'static [MicroOp]),
-    /// A buffer filled by a handler builder, usually recycled through a
-    /// [`ProgramPool`].
-    Pooled(Vec<MicroOp>),
+    /// handler (e.g. the forwarded-syscall path), paired with its equally
+    /// static superop fusion table.
+    Static(&'static [MicroOp], &'static [u16]),
+    /// A buffer filled by a handler builder plus its fusion table, both
+    /// usually recycled through a [`ProgramPool`].
+    Pooled(Vec<MicroOp>, Vec<u16>),
+}
+
+/// Compiles the superop fusion table for `ops` into `runs`, reusing its
+/// capacity: `runs[i]` is the number of consecutive [`MicroOp::Compute`]
+/// ops starting at index `i` (0 when `ops[i]` is any other op).
+///
+/// `Compute` is the only micro-op with no architectural side effect, so a
+/// run of them is the only sequence the batched stepper may execute as one
+/// fused superop without changing where faults can land: every other op is
+/// an abandonment boundary (a state change recovery must be able to observe
+/// half-done). One backward pass at program build time; see
+/// ARCHITECTURE.md §9.
+fn compile_runs(ops: &[MicroOp], runs: &mut Vec<u16>) {
+    runs.clear();
+    runs.resize(ops.len(), 0);
+    let mut r: u16 = 0;
+    for i in (0..ops.len()).rev() {
+        r = if matches!(ops[i], MicroOp::Compute) {
+            r.saturating_add(1)
+        } else {
+            0
+        };
+        runs[i] = r;
+    }
 }
 
 /// A compiled hypervisor execution: the micro-ops plus their cause.
@@ -449,33 +533,55 @@ pub struct Program {
 }
 
 impl Program {
-    /// Creates an unlogged program.
-    pub fn new(cause: EntryCause, ops: Vec<MicroOp>) -> Self {
+    /// Creates an unlogged program. `runs` is a scratch buffer (usually
+    /// recycled through the same [`ProgramPool`] as `ops`) into which the
+    /// superop fusion table is compiled.
+    pub fn new(cause: EntryCause, ops: Vec<MicroOp>, mut runs: Vec<u16>) -> Self {
+        compile_runs(&ops, &mut runs);
         Program {
             cause,
-            body: ProgramBody::Pooled(ops),
+            body: ProgramBody::Pooled(ops, runs),
             logged: false,
         }
     }
 
     /// Creates a program whose side effects are undo-logged.
-    pub fn new_logged(cause: EntryCause, ops: Vec<MicroOp>) -> Self {
+    pub fn new_logged(cause: EntryCause, ops: Vec<MicroOp>, mut runs: Vec<u16>) -> Self {
+        compile_runs(&ops, &mut runs);
         Program {
             cause,
-            body: ProgramBody::Pooled(ops),
+            body: ProgramBody::Pooled(ops, runs),
             logged: true,
         }
     }
 
-    /// Creates an unlogged program over a precompiled static template.
+    /// Creates an unlogged program over a precompiled static template and
+    /// its precompiled fusion table (which must match what
+    /// `compile_runs(ops)` would produce).
     ///
     /// No allocation happens at build time and none is returned to a pool
     /// at retirement; use this for handlers whose op sequence is the same
     /// on every entry.
-    pub fn from_static(cause: EntryCause, ops: &'static [MicroOp]) -> Self {
+    pub fn from_static(cause: EntryCause, ops: &'static [MicroOp], runs: &'static [u16]) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            // Allocation-free equivalent of compile_runs: static programs
+            // are built on the zero-alloc hot path, so even the debug
+            // check must not touch the heap.
+            debug_assert_eq!(runs.len(), ops.len(), "static runs table out of date");
+            let mut r: u16 = 0;
+            for i in (0..ops.len()).rev() {
+                r = if matches!(ops[i], MicroOp::Compute) {
+                    r.saturating_add(1)
+                } else {
+                    0
+                };
+                debug_assert_eq!(runs[i], r, "static runs table out of date");
+            }
+        }
         Program {
             cause,
-            body: ProgramBody::Static(ops),
+            body: ProgramBody::Static(ops, runs),
             logged: false,
         }
     }
@@ -483,18 +589,34 @@ impl Program {
     /// The micro-ops, in execution order.
     pub fn ops(&self) -> &[MicroOp] {
         match &self.body {
-            ProgramBody::Static(s) => s,
-            ProgramBody::Pooled(v) => v,
+            ProgramBody::Static(s, _) => s,
+            ProgramBody::Pooled(v, _) => v,
         }
     }
 
-    /// Consumes the program, recovering its op buffer for pooling.
-    /// Returns `None` for programs over static templates (there is
-    /// nothing to recycle).
-    pub fn into_buffer(self) -> Option<Vec<MicroOp>> {
+    /// The superop fusion table, parallel to [`Program::ops`]: entry `pc`
+    /// is the length of the run of consecutive [`MicroOp::Compute`] ops
+    /// starting at `pc` (0 for any other op).
+    pub fn runs(&self) -> &[u16] {
+        match &self.body {
+            ProgramBody::Static(_, r) => r,
+            ProgramBody::Pooled(_, r) => r,
+        }
+    }
+
+    /// Length of the fused `Compute` run starting at `pc` (0 when the op
+    /// at `pc` is an abandonment boundary, i.e. anything but `Compute`).
+    pub fn run_len_at(&self, pc: usize) -> usize {
+        self.runs().get(pc).copied().unwrap_or(0) as usize
+    }
+
+    /// Consumes the program, recovering its op and fusion-table buffers
+    /// for pooling. Returns `None` for programs over static templates
+    /// (there is nothing to recycle).
+    pub fn into_buffer(self) -> Option<(Vec<MicroOp>, Vec<u16>)> {
         match self.body {
-            ProgramBody::Static(_) => None,
-            ProgramBody::Pooled(v) => Some(v),
+            ProgramBody::Static(..) => None,
+            ProgramBody::Pooled(v, r) => Some((v, r)),
         }
     }
 
@@ -524,7 +646,7 @@ impl Program {
 /// [`Hypervisor::pooling`](crate::Hypervisor)).
 #[derive(Debug, Clone, Default)]
 pub struct ProgramPool {
-    free: Vec<Vec<MicroOp>>,
+    free: Vec<(Vec<MicroOp>, Vec<u16>)>,
 }
 
 /// Buffers retained per CPU. Program stacks nest at most a few frames
@@ -538,17 +660,20 @@ impl ProgramPool {
         ProgramPool::default()
     }
 
-    /// Takes an empty buffer out of the pool (allocating only when the
-    /// pool is dry, i.e. during the first few entries after boot).
-    pub fn take(&mut self) -> Vec<MicroOp> {
+    /// Takes an empty op buffer and its paired fusion-table buffer out of
+    /// the pool (allocating only when the pool is dry, i.e. during the
+    /// first few entries after boot).
+    pub fn take(&mut self) -> (Vec<MicroOp>, Vec<u16>) {
         self.free.pop().unwrap_or_default()
     }
 
-    /// Returns a retired program's buffer to the pool.
-    pub fn give(&mut self, mut buf: Vec<MicroOp>) {
+    /// Returns a retired program's buffers to the pool.
+    pub fn give(&mut self, buf: (Vec<MicroOp>, Vec<u16>)) {
         if self.free.len() < POOL_CAP {
-            buf.clear();
-            self.free.push(buf);
+            let (mut ops, mut runs) = buf;
+            ops.clear();
+            runs.clear();
+            self.free.push((ops, runs));
         }
     }
 
@@ -686,8 +811,55 @@ mod tests {
         let p = Program::new(
             EntryCause::TimerInterrupt,
             vec![MicroOp::EnterIrq, MicroOp::LeaveIrq],
+            Vec::new(),
         );
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn fusion_table_marks_compute_runs_only() {
+        let p = Program::new(
+            EntryCause::TimerInterrupt,
+            vec![
+                MicroOp::EnterIrq,
+                MicroOp::Compute,
+                MicroOp::Compute,
+                MicroOp::Compute,
+                MicroOp::HeartbeatIncrement,
+                MicroOp::Compute,
+                MicroOp::LeaveIrq,
+            ],
+            Vec::new(),
+        );
+        assert_eq!(p.runs(), &[0, 3, 2, 1, 0, 1, 0]);
+        assert_eq!(p.run_len_at(1), 3);
+        assert_eq!(p.run_len_at(4), 0);
+        assert_eq!(p.run_len_at(99), 0);
+    }
+
+    #[test]
+    fn pool_recycles_fusion_table_with_ops() {
+        let mut pool = ProgramPool::new();
+        let p = Program::new(
+            EntryCause::Scheduler,
+            vec![MicroOp::Compute, MicroOp::Compute],
+            Vec::new(),
+        );
+        pool.give(p.into_buffer().expect("pooled body"));
+        let (ops, runs) = pool.take();
+        assert!(ops.is_empty() && runs.is_empty());
+        assert!(ops.capacity() >= 2 && runs.capacity() >= 2);
+    }
+
+    #[test]
+    fn fixed_multicall_matches_vec_multicall() {
+        for shape in [MulticallShape::PinProbeUnpinTimer, MulticallShape::PinUnpin] {
+            let fixed = HcRequest::FixedMulticall(shape);
+            let grown = HcRequest::Multicall(shape.calls().to_vec());
+            assert_eq!(fixed.multicall_calls(), grown.multicall_calls());
+            assert_eq!(fixed.is_non_idempotent(), grown.is_non_idempotent());
+            assert!(fixed.is_non_idempotent(), "both shapes pin pages");
+        }
     }
 }

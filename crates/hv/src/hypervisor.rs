@@ -20,8 +20,8 @@ use crate::config::{HvTuning, MachineConfig};
 use crate::detect::{Detection, DetectionKind};
 use crate::domain::{Domain, DomainSpec, DomainState, GuestNotice, GuestOp};
 use crate::hypercalls::{
-    EntryCause, HcRequest, MicroOp, OpSupport, PendingKind, PendingRequest, Program, ProgramPool,
-    UndoEntry,
+    EntryCause, HandlerKind, HcRequest, MicroOp, OpSupport, PendingKind, PendingRequest, Program,
+    ProgramPool, UndoEntry,
 };
 use crate::interrupts::{GuestEventKind, IrqSubsystem, VEC_BLK, VEC_NET};
 use crate::locks::{AcquireOutcome, LockPlacement, LockRegistry, StaticLock};
@@ -58,6 +58,10 @@ pub enum StepOutcome {
     Frozen,
 }
 
+/// Charge base for pure log-write micro-ops (a store plus a pointer
+/// bump, far cheaper than a full micro-op).
+const LOG_OP_BASE_CYCLES: u64 = 150;
+
 /// An in-flight hypervisor execution on one CPU.
 #[derive(Debug, Clone)]
 struct Frame {
@@ -74,6 +78,11 @@ static SYSCALL_OPS: [MicroOp; 4] = [
     MicroOp::Compute,
     MicroOp::DeliverSyscall,
 ];
+
+/// Precompiled superop fusion table for [`SYSCALL_OPS`] (what
+/// `compile_runs` would produce; checked by a debug assertion in
+/// [`Program::from_static`]).
+static SYSCALL_RUNS: [u16; 4] = [0, 2, 1, 0];
 
 /// External NetBench traffic: the sender on a separate physical host that
 /// emits one UDP packet per millisecond (Section VI-A).
@@ -93,6 +102,23 @@ pub struct NetTraffic {
     pub drops: u64,
     /// Receive-ring capacity.
     pub ring_capacity: usize,
+}
+
+/// Result of a batched injector counting window
+/// ([`Hypervisor::run_counting`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountingWindow {
+    /// Remaining micro-op budget (0 once the window is in its fire-attempt
+    /// region).
+    pub left: u64,
+    /// Remaining handler-steering depth (meaningful only with a handler
+    /// filter).
+    pub depth_left: u64,
+    /// The CPU whose last step satisfied the fire condition, if the window
+    /// got that far before the deadline (or an organic detection) stopped
+    /// it. The hypervisor is left exactly at that post-step instant; the
+    /// caller performs the injection itself.
+    pub fired: Option<CpuId>,
 }
 
 /// Summary returned by [`Hypervisor::discard_all_stacks`].
@@ -183,6 +209,15 @@ pub struct Hypervisor {
     /// way (pinned by differential tests); the knob exists so benchmarks and
     /// tests can compare the two.
     pub pooling: bool,
+    /// Superop dispatch knob. On (the default), the batched stepper
+    /// executes whole precompiled runs of [`MicroOp::Compute`] as single
+    /// fused superops, fast-forwards provably-idle windows in bulk, and
+    /// lets the injector's counting window ride the batched path; off,
+    /// every micro-op dispatches individually exactly as before PR 10.
+    /// Simulated behaviour is bit-identical either way (pinned by
+    /// differential tests); the knob exists so benchmarks and tests can
+    /// compare the two dispatch engines. See ARCHITECTURE.md §9.
+    pub superops: bool,
 
     cpu_now: Vec<SimTime>,
     cpu_mode: Vec<CpuMode>,
@@ -216,14 +251,25 @@ pub struct Hypervisor {
     next_bound: SimTime,
     next_bound_cpu: u32,
     next_valid: bool,
-    // Set by `MicroOp::IoapicWrite` so `run_batched` recomputes its hoisted
-    // check horizon: re-routing a device vector can make an already-due
-    // packet time relevant on the newly routed CPU. Every other in-dispatch
-    // mutation moves check deadlines forward (watchdog periods, `net.next`)
-    // or parks a CPU (which only *raises* the horizon), and cross-call
-    // mutations (recovery, `resume_after`, direct subsystem pokes) are
-    // covered by the recompute on `run_batched` entry.
-    routes_dirty: bool,
+    // Set by `MicroOp::IoapicWrite` so the batched steppers recompute
+    // their hoisted check horizon: re-routing a device vector can make an
+    // already-due packet time relevant on the newly routed CPU. Every
+    // other in-dispatch mutation moves check deadlines forward (watchdog
+    // periods, `net.next`) or parks a CPU (which only *raises* the
+    // horizon), and cross-call mutations (recovery, `resume_after`,
+    // direct subsystem pokes) are covered by the recompute on
+    // batched-loop entry. Local APIC one-shots are *not* folded into the
+    // horizon — `step_run` polls `take_fire` on every dispatch — so
+    // `MicroOp::ProgramApic` does not touch this flag.
+    horizon_dirty: bool,
+    // Memoized cycle->nanosecond conversions for the dispatch hot path
+    // (host bookkeeping, not simulated state: never part of the digest).
+    // Slot layout: [cycle_count, cpu_freq_mhz, nanos]; `op_ns_cache[0]`
+    // serves full micro-op charges, `op_ns_cache[1]` pure log writes, and
+    // `run_cost_cache` is `fused_hv_run`'s (per-op, worst-case) pair keyed
+    // by the tuning knobs and frequency it was computed from.
+    op_ns_cache: [[u64; 3]; 2],
+    run_cost_cache: [u64; 6],
 }
 
 impl Hypervisor {
@@ -318,6 +364,7 @@ impl Hypervisor {
             timer_locks,
             vcpu_dom: Vec::new(),
             pooling: true,
+            superops: true,
             cpu_now: vec![SimTime::ZERO; n],
             cpu_mode: vec![CpuMode::Run; n],
             stacks: vec![Vec::new(); n],
@@ -333,7 +380,9 @@ impl Hypervisor {
             next_bound: SimTime::ZERO,
             next_bound_cpu: 0,
             next_valid: false,
-            routes_dirty: false,
+            horizon_dirty: false,
+            op_ns_cache: [[u64::MAX; 3]; 2],
+            run_cost_cache: [u64::MAX; 6],
             domains: Vec::new(),
             support: OpSupport::full(),
             config,
@@ -815,6 +864,123 @@ impl Hypervisor {
         self.run_batched(deadline, Some(marker))
     }
 
+    /// Batched execution of the fault injector's counting window: runs
+    /// exactly like [`Hypervisor::run_until`] while advancing the
+    /// injector's second-level trigger automaton on every step, and stops
+    /// *at* the step the injector would fire on (without injecting — the
+    /// caller owns the corruption draw).
+    ///
+    /// The automaton is the per-step `Injector::on_step` Counting phase,
+    /// verbatim: a hypervisor micro-op decrements `left`; once `left`
+    /// reaches zero, each subsequent hypervisor micro-op is a fire
+    /// attempt that succeeds when the post-step state is mid-program
+    /// (and, with a handler filter, inside the right handler family with
+    /// the steering depth exhausted). Fused superop spans are bulk
+    /// decrements: they are capped at the remaining `left`, so no fire
+    /// attempt is ever buried inside a span, and the fire-attempt region
+    /// itself runs op-at-a-time. Bit-identity with the per-step window is
+    /// pinned by differential tests.
+    pub fn run_counting(
+        &mut self,
+        deadline: SimTime,
+        mut left: u64,
+        only: Option<HandlerKind>,
+        mut depth_left: u64,
+    ) -> CountingWindow {
+        let mut fired = None;
+        'outer: loop {
+            if self.detection.is_some() || fired.is_some() {
+                break;
+            }
+            let mut horizon = self.check_horizon(deadline);
+            loop {
+                let cpu = self.pick_next_cpu();
+                let t = self.cpu_now[cpu.index()];
+                if t >= deadline {
+                    break 'outer;
+                }
+                let checked = t >= horizon;
+                if !checked {
+                    if left > 0 {
+                        let span = self.fused_hv_run(cpu, horizon, None, left);
+                        if span > 0 {
+                            // A step that raised a detection returned
+                            // `Frozen`, not `HvOp`: it consumes no budget,
+                            // exactly like the reference automaton.
+                            let counted = if self.detection.is_some() {
+                                span - 1
+                            } else {
+                                span
+                            };
+                            left -= counted;
+                            if self.detection.is_some() {
+                                break 'outer;
+                            }
+                            if self.horizon_dirty {
+                                self.horizon_dirty = false;
+                                horizon = self.check_horizon(deadline);
+                            }
+                            continue;
+                        }
+                    }
+                    // Idle steps are not hypervisor micro-ops, so the
+                    // counting automaton ignores them: the idle window can
+                    // fast-forward without touching the budget.
+                    if self.fused_idle_window(cpu, horizon, None) > 0 {
+                        continue;
+                    }
+                }
+                let out = if checked {
+                    self.step(cpu)
+                } else {
+                    self.step_unchecked(cpu)
+                };
+                // The trigger automaton, advanced post-step exactly like
+                // `Injector::on_step` in the Counting phase.
+                if out == StepOutcome::HvOp {
+                    if left > 0 {
+                        left -= 1;
+                    } else if self.cpu_mid_program(cpu) {
+                        match only {
+                            None => {
+                                fired = Some(cpu);
+                            }
+                            Some(filter) => {
+                                let here = self
+                                    .cpu_program_context(cpu)
+                                    .map(|(cause, _)| cause.handler_kind());
+                                if here == Some(filter) {
+                                    if depth_left > 0 {
+                                        depth_left -= 1;
+                                    } else {
+                                        fired = Some(cpu);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if checked || fired.is_some() {
+                    // Recompute the horizon after a checked step, or leave
+                    // with the fire step as the last step taken.
+                    continue 'outer;
+                }
+                if self.detection.is_some() {
+                    break 'outer;
+                }
+                if self.horizon_dirty {
+                    self.horizon_dirty = false;
+                    horizon = self.check_horizon(deadline);
+                }
+            }
+        }
+        CountingWindow {
+            left,
+            depth_left,
+            fired,
+        }
+    }
+
     /// The batched stepping engine behind `run_until`/`run_until_marker`.
     ///
     /// Each outer iteration computes a *horizon*: the earliest instant at
@@ -838,9 +1004,9 @@ impl Hypervisor {
             }
             // The horizon is hoisted out of the unchecked inner loop: it
             // only moves *down* when an I/O APIC route is rewritten
-            // mid-program (`routes_dirty`); everything else that happens in
-            // `dispatch_step` leaves it valid or raises it (stale-low is
-            // merely a wasted checked step, never a missed check).
+            // mid-program (`horizon_dirty`); everything else that happens
+            // in `dispatch_step` leaves it valid or raises it (stale-low
+            // is merely a wasted checked step, never a missed check).
             let mut horizon = self.check_horizon(deadline);
             let cpu = loop {
                 let cpu = self.pick_next_cpu();
@@ -851,6 +1017,27 @@ impl Hypervisor {
                 if t >= horizon {
                     break cpu;
                 }
+                // Superop fast path: execute a fused run of micro-ops in
+                // one dispatch when provably equivalent to stepping them
+                // one by one (see `fused_hv_run`). The run is bounded
+                // below the marker, so it can never be the marker-crossing
+                // step; it breaks on detection and on a dirtied horizon,
+                // handled here exactly as after a single unchecked step.
+                if self.fused_hv_run(cpu, horizon, marker, u64::MAX) > 0 {
+                    if self.detection.is_some() {
+                        return None;
+                    }
+                    if self.horizon_dirty {
+                        self.horizon_dirty = false;
+                        horizon = self.check_horizon(deadline);
+                    }
+                    continue;
+                }
+                // Idle fast path: when everything below the horizon is
+                // provably idle, fast-forward the whole window at once.
+                if self.fused_idle_window(cpu, horizon, marker) > 0 {
+                    continue;
+                }
                 let out = self.step_unchecked(cpu);
                 if let Some(m) = marker {
                     if self.cpu_now[cpu.index()] >= m {
@@ -860,8 +1047,8 @@ impl Hypervisor {
                 if self.detection.is_some() {
                     return None;
                 }
-                if self.routes_dirty {
-                    self.routes_dirty = false;
+                if self.horizon_dirty {
+                    self.horizon_dirty = false;
                     horizon = self.check_horizon(deadline);
                 }
             };
@@ -883,7 +1070,10 @@ impl Hypervisor {
         for (i, pc) in self.percpu.iter().enumerate() {
             // Parked CPUs are exempt from the watchdog NMI (exactly the
             // per-step check's own mode test).
-            if self.cpu_mode[i] != CpuMode::Parked && pc.watchdog.next_check < horizon {
+            if self.cpu_mode[i] == CpuMode::Parked {
+                continue;
+            }
+            if pc.watchdog.next_check < horizon {
                 horizon = pc.watchdog.next_check;
             }
         }
@@ -893,6 +1083,417 @@ impl Hypervisor {
             }
         }
         horizon
+    }
+
+    /// The superop dispatcher's per-op clock costs, memoized on the
+    /// tuning knobs and CPU frequency they were computed from: the plain
+    /// micro-op advance and the worst-case single-op advance (the larger
+    /// of a full micro-op and a pure-log base, plus the larger logging
+    /// share), used for the conservative marker clip. Cycle-to-time
+    /// conversion divides, and the operands only change when the caller
+    /// retunes the machine — not once per fused op.
+    fn fused_costs(&mut self) -> (u64, u64) {
+        let key = [
+            self.tuning.cycles_per_micro_op,
+            self.tuning.cycles_per_log_write,
+            self.tuning.cycles_per_completion_log,
+            self.config.cpu_freq_mhz,
+        ];
+        if self.run_cost_cache[..4] == key {
+            return (self.run_cost_cache[4], self.run_cost_cache[5]);
+        }
+        let f = self.config.cpu_freq_mhz;
+        let d = Cycles(key[0]).to_duration(f).as_nanos();
+        let worst = key[0].max(LOG_OP_BASE_CYCLES) + key[1].max(key[2]);
+        let dmax = Cycles(worst).to_duration(f).as_nanos();
+        self.run_cost_cache = [key[0], key[1], key[2], key[3], d, dmax];
+        (d, dmax)
+    }
+
+    /// Memoized [`Cycles::to_duration`] for the two per-op charge shapes
+    /// (`slot` 0: full micro-ops, `slot` 1: pure log writes), so the
+    /// dispatch hot path divides only when a charge it has not seen
+    /// before shows up.
+    fn op_ns(&mut self, base: Cycles, slot: usize) -> u64 {
+        let f = self.config.cpu_freq_mhz;
+        let c = &mut self.op_ns_cache[slot];
+        if c[0] == base.count() && c[1] == f {
+            return c[2];
+        }
+        let ns = base.to_duration(f).as_nanos();
+        *c = [base.count(), f, ns];
+        ns
+    }
+
+    /// Executes up to `cap` micro-ops of the current handler program on
+    /// `cpu` as one fused superop dispatch, returning how many steps were
+    /// taken (0 means the caller must take a normal single step).
+    ///
+    /// Fusion rules (see ARCHITECTURE.md §9): a *run* is a maximal stretch
+    /// of micro-ops that cannot suspend the program counter — everything
+    /// except `Acquire`, whose contended arm spins in place and is the
+    /// program’s abandonment boundary structure made visible to the
+    /// dispatcher. Each fused op executes through [`Self::step_hv`]
+    /// itself, so its side effects, charging, and program-counter motion
+    /// are the reference’s own code; what the fused run elides is the
+    /// outer loop’s per-step machinery (next-CPU pick, horizon compare,
+    /// fusion attempts, outcome plumbing), which is provably no-op under
+    /// the clip rules below. Runs of [`MicroOp::Compute`] — precompiled
+    /// per program at build time ([`Program::runs`]) — take a faster bulk
+    /// branch that charges the whole run in one call.
+    ///
+    /// The loop is clipped so that fusing is *provably* invisible next to
+    /// the reference one-op-at-a-time execution:
+    ///
+    /// * every fused step's *start* time stays below `horizon`, where the
+    ///   per-step entry checks are no-ops (Hv-mode dispatches never poll
+    ///   the local APIC, so the one-shot needs no bound here);
+    /// * every fused step's start stays within the cached next-CPU pick's
+    ///   validity bound (including `min_by_key`'s first-index tie rule),
+    ///   so cross-CPU interleaving — and the cache fields themselves —
+    ///   match the reference exactly;
+    /// * with a `marker`, every fused step's *post*-step time stays below
+    ///   it (conservatively, using the largest charge any op can incur),
+    ///   so the marker-crossing step itself runs through the normal path;
+    /// * the run breaks on anything the outer loop would react to — a
+    ///   raised detection (the detecting step returns `Frozen` exactly as
+    ///   in the reference, and is excluded from the caller's micro-op
+    ///   budget), a mode change (frame retirement dropping to `Run`), or
+    ///   a dirtied horizon (`IoapicWrite`) — leaving the next step to the
+    ///   caller;
+    /// * the step count is fed to the injection trigger in bulk, and the
+    ///   run is capped at the remaining budget so no fire attempt is ever
+    ///   buried inside a fused run.
+    fn fused_hv_run(
+        &mut self,
+        cpu: CpuId,
+        horizon: SimTime,
+        marker: Option<SimTime>,
+        cap: u64,
+    ) -> u64 {
+        if !self.superops {
+            return 0;
+        }
+        let i = cpu.index();
+        if self.cpu_mode[i] != CpuMode::Hv {
+            return 0;
+        }
+        let (d, dmax) = self.fused_costs();
+        if d == 0 {
+            return 0;
+        }
+        let h = horizon.as_nanos();
+        // Pick-cache validity: starts may sit *at* `next_bound` only while
+        // this CPU wins the `min_by_key` first-index tie.
+        let nb = self.next_bound.as_nanos();
+        let tie_win = self.next_cpu < self.next_bound_cpu;
+        let mk = marker.map(|m| m.as_nanos());
+        let mut executed: u64 = 0;
+        while executed < cap {
+            let t = self.cpu_now[i].as_nanos();
+            if t >= h || t > nb || (t == nb && !tie_win) {
+                break;
+            }
+            if let Some(mk) = mk {
+                if t + dmax >= mk {
+                    break;
+                }
+            }
+            let f = match self.stacks[i].last() {
+                Some(f) => f,
+                None => break,
+            };
+            if f.pc >= f.program.len() {
+                break;
+            }
+            let crun = f.program.run_len_at(f.pc) as u64;
+            if crun >= 2 {
+                // Bulk branch: a precompiled `Compute` run charges and
+                // advances in one call (uniform cost, no side effects).
+                let mut m = crun.min(cap - executed).min((h - t - 1) / d + 1);
+                let cache_m = if tie_win {
+                    (nb - t) / d + 1
+                } else if nb <= t {
+                    1
+                } else {
+                    (nb - t - 1) / d + 1
+                };
+                m = m.min(cache_m);
+                if let Some(mk) = mk {
+                    m = m.min(if mk <= t { 0 } else { (mk - t - 1) / d });
+                }
+                if m >= 2 {
+                    self.steps += m;
+                    self.accounting.charge_hv_span(
+                        cpu,
+                        Cycles(self.tuning.cycles_per_micro_op) * m,
+                        m,
+                    );
+                    self.cpu_now[i] = SimTime::ZERO + SimDuration::from_nanos(t + m * d);
+                    executed += m;
+                    let f = self.stacks[i]
+                        .last_mut()
+                        .expect("span bounds checked above");
+                    f.pc += m as usize;
+                    if f.pc >= f.program.len() {
+                        self.retire_frame(i);
+                        if self.cpu_mode[i] != CpuMode::Hv {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                // The clips left less than a full bulk span; fall through
+                // to a single fused op.
+            }
+            let op = f.program.ops()[f.pc];
+            if let MicroOp::Acquire(l) = op {
+                if self.locks.get(l).holder.is_some() {
+                    break;
+                }
+                // A free lock is taken without suspending the pc, so the
+                // run carries straight through the acquire.
+            }
+            // Single fused op: the reference dispatch itself, minus the
+            // outer loop's bookkeeping.
+            self.steps += 1;
+            executed += 1;
+            let out = self.step_hv(cpu);
+            if out == StepOutcome::Frozen || self.cpu_mode[i] != CpuMode::Hv || self.horizon_dirty {
+                break;
+            }
+        }
+        executed
+    }
+
+    /// Bulk idle fast-forward: executes, in one dispatch, every idle
+    /// step that provably commutes with the rest of the window, returning
+    /// the number of steps taken (0 means the caller must take a normal
+    /// single step).
+    ///
+    /// Equivalence argument (see ARCHITECTURE.md §9): a stable-idle step
+    /// touches nothing but its own CPU's clock, which it advances by
+    /// exactly one `idle_quantum`, so stable-idle steps of different CPUs
+    /// commute — any interleaving reaches the same state in the same
+    /// number of steps as the reference's strict clock order. Every CPU
+    /// below the horizon is classified as *stable* (its next steps are
+    /// provably pure clock advances: Parked/Wedged; an idle CPU with no
+    /// runnable pick into an active domain and no pending IRQ or
+    /// scheduler work; a CPU whose current vCPU's domain is inactive,
+    /// stuck on an uncommitted request, or finished with no queued
+    /// events) or *unstable* (mid-program, deliverable device interrupt,
+    /// pending credit work, live workload — anything that could build a
+    /// program or touch cross-CPU state). The window is then *capped* at
+    /// the earliest instant anything non-commuting could happen:
+    ///
+    /// * every unstable CPU's clock — fused starts stay strictly below
+    ///   it, i.e. before the reference would run that CPU's next step;
+    /// * every stable CPU's local APIC one-shot — a due one-shot builds a
+    ///   timer program whose micro-ops can reach cross-CPU state, so no
+    ///   fused step may start at or after *any* deadline in the window
+    ///   (the firing step itself runs singly, and the skipped per-step
+    ///   `take_fire` polls below the cap are provably false;
+    ///   Parked/Wedged dispatches never poll);
+    /// * the hoisted `horizon` (where the watchdog and net-traffic entry
+    ///   checks are no-ops) and, with a `marker`, the marker (post-step
+    ///   times stay below it, so the crossing step runs normally).
+    ///
+    /// A sleeping idle CPU additionally fuses full quanta only, leaving
+    /// the step that would clip to its deadline (`advance_to`) for the
+    /// reference path.
+    ///
+    /// The classify pass starts at `first` (the caller's picked CPU,
+    /// which holds the window's minimum clock): if the picked CPU itself
+    /// is unstable the cap collapses to that minimum and nothing can
+    /// fuse — the common case in busy phases, exiting after one
+    /// classification and no division work.
+    fn fused_idle_window(
+        &mut self,
+        first: CpuId,
+        horizon: SimTime,
+        marker: Option<SimTime>,
+    ) -> u64 {
+        if !self.superops {
+            return 0;
+        }
+        let q = self.tuning.idle_quantum.as_nanos();
+        let n = self.cpu_now.len();
+        if q == 0 || n > 64 {
+            return 0;
+        }
+        let h = horizon.as_nanos();
+        let f = first.index().min(n);
+
+        // Fast veto: the picked CPU is an idle sleeper about to clip to
+        // its own one-shot (`advance_to` lands on the deadline, not a
+        // full quantum away) — the clipping step always runs singly, so
+        // the classification pass below could at best fuse other CPUs'
+        // sub-quantum remainders. Skipping the attempt is free: the same
+        // steps simply execute unfused. This is the block/wake rhythm of
+        // a syscalling guest, the hottest idle shape in busy phases.
+        if self.cpu_mode[f] == CpuMode::Run && self.sched.current(first).is_none() {
+            let t0 = self.cpu_now[f].as_nanos();
+            let dl0 = self.percpu[f]
+                .apic
+                .deadline()
+                .map_or(u64::MAX, |d| d.as_nanos());
+            if dl0.saturating_sub(t0) < q {
+                return 0;
+            }
+        }
+
+        // Pass 1: classify each sub-horizon CPU and fold the window cap.
+        let mut stable: u64 = 0;
+        let mut dls = [u64::MAX; 64];
+        let mut full_q: u64 = 0;
+        let mut cap = h;
+        for i in (f..n).chain(0..f) {
+            let t = self.cpu_now[i].as_nanos();
+            if t >= h {
+                continue;
+            }
+            match self.idle_stability(CpuId::from_index(i)) {
+                Some((dl, fq)) => {
+                    stable |= 1 << i;
+                    dls[i] = dl;
+                    if fq {
+                        full_q |= 1 << i;
+                    }
+                    cap = cap.min(dl);
+                }
+                None => {
+                    if i == f {
+                        return 0;
+                    }
+                    cap = cap.min(t);
+                }
+            }
+        }
+
+        // Pass 2: size the spans (division work only on live windows).
+        let mkb = marker.map(|m| m.as_nanos());
+        let mut spans = [0u64; 64];
+        let mut total: u64 = 0;
+        for i in 0..n {
+            if stable & (1 << i) == 0 {
+                continue;
+            }
+            let t = self.cpu_now[i].as_nanos();
+            if t >= cap {
+                continue;
+            }
+            // Starts stay strictly below the cap...
+            let mut m = if cap - t <= q {
+                1
+            } else {
+                (cap - t - 1) / q + 1
+            };
+            // ...a sleeping idle CPU fuses full quanta toward its own
+            // one-shot only...
+            if full_q & (1 << i) != 0 && dls[i] != u64::MAX {
+                m = m.min((dls[i] - t) / q);
+            }
+            // ...and, below a marker, post-step times stay below it.
+            if let Some(mk) = mkb {
+                m = m.min(if mk <= t { 0 } else { (mk - t - 1) / q });
+            }
+            spans[i] = m;
+            total += m;
+        }
+        if total == 0 {
+            return 0;
+        }
+        for (i, &m) in spans.iter().enumerate().take(n) {
+            if m > 0 {
+                self.cpu_now[i] =
+                    SimTime::ZERO + SimDuration::from_nanos(self.cpu_now[i].as_nanos() + m * q);
+            }
+        }
+        self.steps += total;
+        // The bulk clock moves invalidate the cached next-CPU pick.
+        self.next_valid = false;
+        total
+    }
+
+    /// Classifies `cpu` for [`Self::fused_idle_window`]: `Some((deadline,
+    /// full_quanta))` when its next steps are provably stable idle (the
+    /// deadline is its local APIC one-shot, `u64::MAX` when unarmed;
+    /// `full_quanta` marks a sleeping idle CPU whose steps clip to that
+    /// deadline), `None` when the CPU could do real work. The checks
+    /// mirror the single-step dispatch's entry conditions exactly
+    /// (including [`Scheduler::cached_pick`], the generation-validated
+    /// pick `step_idle` itself serves), ordered so the common busy-phase
+    /// classification exits cheaply.
+    fn idle_stability(&mut self, cpu: CpuId) -> Option<(u64, bool)> {
+        let i = cpu.index();
+        match self.cpu_mode[i] {
+            // Parked/Wedged: the dispatch advances one quantum
+            // unconditionally (no APIC poll), and only another CPU's
+            // action could change the mode.
+            CpuMode::Parked | CpuMode::Wedged => Some((u64::MAX, false)),
+            // A mid-program CPU executes micro-ops with side effects:
+            // its steps cannot be reordered against anything.
+            CpuMode::Hv => None,
+            CpuMode::Run => {
+                let r = match self.sched.current(cpu) {
+                    Some(v) => {
+                        let dom = self.domain_of(v);
+                        let d = &self.domains[dom.index()];
+                        if d.is_active() {
+                            if self.percpu[i].local_irq_count != 0 {
+                                return None;
+                            }
+                            if let Some(p) = d.pending.as_ref() {
+                                // A retry builds a program; a stuck
+                                // request idles forever.
+                                if p.will_retry {
+                                    return None;
+                                }
+                            } else if self.irqs.pending_events(dom) > 0 || !d.finished {
+                                // Deliverable events or a live
+                                // workload: real work next step.
+                                return None;
+                            }
+                        }
+                        false
+                    }
+                    None => {
+                        // The idle loop panics in IRQ context and
+                        // switches in any runnable vCPU of an active
+                        // domain; otherwise it sleeps quantum-wise
+                        // toward its own APIC deadline.
+                        if self.percpu[i].local_irq_count != 0 {
+                            return None;
+                        }
+                        if let Some(v) = self.sched.cached_pick(cpu) {
+                            let dom = self.domain_of(v);
+                            if self.domains[dom.index()].is_active() {
+                                return None;
+                            }
+                        }
+                        true
+                    }
+                };
+                // Any deliverable device interrupt builds a handler
+                // program on the next step, and so does pending
+                // credit-scheduler work.
+                if [VEC_BLK, VEC_NET].iter().any(|&vec| {
+                    self.irqs.ioapic_route(vec) == Some(cpu) && self.irqs.is_pending(cpu, vec)
+                }) {
+                    return None;
+                }
+                if self.sched.credit_mode()
+                    && (self.sched.peek_resched(cpu) || self.sched.peek_pending_migration(cpu))
+                {
+                    return None;
+                }
+                let dl = self.percpu[i]
+                    .apic
+                    .deadline()
+                    .map_or(u64::MAX, |d| d.as_nanos());
+                Some((dl, r))
+            }
+        }
     }
 
     /// Steps one CPU once.
@@ -982,7 +1583,9 @@ impl Hypervisor {
         let i = cpu.index();
         let now = self.cpu_now[i];
 
-        // APIC timer interrupt?
+        // APIC timer interrupt? Polled on every Run-mode dispatch; fused
+        // superop spans are bounded below the CPU's one-shot deadline, so
+        // the steps they elide would all have polled false.
         if self.percpu[i].apic.take_fire(now) {
             let prog = self.build_timer_interrupt(cpu);
             self.push_frame(cpu, prog);
@@ -1188,31 +1791,30 @@ impl Hypervisor {
     // ------------------------------------------------------------------
 
     fn bind_request(&mut self, dom: DomId, req: &HcRequest) -> Vec<Vec<PageNum>> {
-        match req {
-            HcRequest::Multicall(calls) => {
+        match req.multicall_calls() {
+            Some(calls) => {
                 let mut out = self.take_binding_set();
                 for c in calls {
                     // A nested multicall (workloads never build one) binds
                     // all its sub-calls and keeps the first's pages — same
                     // RNG draws and same flattening as always.
-                    let b = match c {
-                        HcRequest::Multicall(_) => {
-                            let mut inner = self.bind_request(dom, c);
-                            let first = if inner.is_empty() {
-                                self.take_binding_buf()
-                            } else {
-                                inner.remove(0)
-                            };
-                            self.recycle_bindings(inner);
-                            first
-                        }
-                        _ => self.bind_simple(dom, c),
+                    let b = if c.multicall_calls().is_some() {
+                        let mut inner = self.bind_request(dom, c);
+                        let first = if inner.is_empty() {
+                            self.take_binding_buf()
+                        } else {
+                            inner.remove(0)
+                        };
+                        self.recycle_bindings(inner);
+                        first
+                    } else {
+                        self.bind_simple(dom, c)
                     };
                     out.push(b);
                 }
                 out
             }
-            _ => {
+            None => {
                 // Requests that bind no pages (SchedBlock, XenVersion,
                 // console writes, timers, event sends — the steady-state
                 // bulk) get an empty binding list instead of a one-element
@@ -1338,7 +1940,7 @@ impl Hypervisor {
         use MicroOp::*;
         let i = cpu.index();
         let now = self.cpu_now[i];
-        let mut ops = self.take_buf(cpu);
+        let (mut ops, runs) = self.take_buf(cpu);
         ops.push(EnterIrq);
         ops.push(Acquire(self.timer_locks[i]));
 
@@ -1446,12 +2048,12 @@ impl Hypervisor {
         ops.push(Compute);
         ops.push(LeaveIrq);
         self.timer_scratch = due;
-        Program::new(EntryCause::TimerInterrupt, ops)
+        Program::new(EntryCause::TimerInterrupt, ops, runs)
     }
 
     fn build_net_interrupt(&mut self, cpu: CpuId) -> Program {
         use MicroOp::*;
-        let mut ops = self.take_buf(cpu);
+        let (mut ops, runs) = self.take_buf(cpu);
         ops.push(EnterIrq);
         ops.push(Compute);
         let (target, backlog) = match &self.net {
@@ -1476,7 +2078,7 @@ impl Hypervisor {
         }
         ops.push(Eoi(VEC_NET));
         ops.push(LeaveIrq);
-        Program::new(EntryCause::DeviceInterrupt(VEC_NET), ops)
+        Program::new(EntryCause::DeviceInterrupt(VEC_NET), ops, runs)
     }
 
     /// Packets delivered (or dropped) so far — the high-water mark of NetRx
@@ -1524,7 +2126,7 @@ impl Hypervisor {
         use MicroOp::*;
         let d8 = dev as u8;
         let q8 = q as u8;
-        let mut ops = self.take_buf(cpu);
+        let (mut ops, runs) = self.take_buf(cpu);
         ops.push(AssertNotInIrq);
         ops.push(Compute); // MMIO decode + virtqueue lookup
         ops.push(VqPopAvail { dev: d8, q: q8 });
@@ -1546,7 +2148,7 @@ impl Hypervisor {
             ops.push(VqRaiseIrq { dev: peer });
         }
         ops.push(Compute); // return-to-guest path
-        Program::new(EntryCause::VirtioMmio(vcpu), ops)
+        Program::new(EntryCause::VirtioMmio(vcpu), ops, runs)
     }
 
     /// The virtio completion-interrupt handler for `vec`: drain every
@@ -1554,14 +2156,14 @@ impl Hypervisor {
     /// owners.
     fn build_virtio_interrupt(&mut self, cpu: CpuId, vec: IrqVector) -> Program {
         use MicroOp::*;
-        let mut ops = self.take_buf(cpu);
+        let (mut ops, runs) = self.take_buf(cpu);
         ops.push(EnterIrq);
         ops.push(Compute);
         ops.push(VqDeliverUsed(vec));
         ops.push(Eoi(vec));
         ops.push(Compute);
         ops.push(LeaveIrq);
-        Program::new(EntryCause::DeviceInterrupt(vec), ops)
+        Program::new(EntryCause::DeviceInterrupt(vec), ops, runs)
     }
 
     /// Body of [`MicroOp::VqDeliverUsed`]: deliver used entries of every
@@ -1625,7 +2227,7 @@ impl Hypervisor {
 
     fn build_wakeup_switch(&mut self, cpu: CpuId, v: VcpuId) -> Program {
         use MicroOp::*;
-        let mut ops = self.take_buf(cpu);
+        let (mut ops, runs) = self.take_buf(cpu);
         ops.extend_from_slice(&[
             AssertNotInIrq,
             Acquire(self.runq_locks[cpu.index()]),
@@ -1638,7 +2240,7 @@ impl Hypervisor {
             Compute,
             Release(self.runq_locks[cpu.index()]),
         ]);
-        Program::new(EntryCause::Scheduler, ops)
+        Program::new(EntryCause::Scheduler, ops, runs)
     }
 
     /// The credit-mode preemption context switch: deschedule the current
@@ -1655,7 +2257,7 @@ impl Hypervisor {
             return None;
         }
         use MicroOp::*;
-        let mut ops = self.take_buf(cpu);
+        let (mut ops, runs) = self.take_buf(cpu);
         ops.push(AssertNotInIrq);
         ops.push(Acquire(self.runq_locks[cpu.index()]));
         ops.push(SchedConsistencyAssert);
@@ -1678,7 +2280,7 @@ impl Hypervisor {
         ops.push(CsSetIsCurrent(next, true));
         ops.push(Compute);
         ops.push(Release(self.runq_locks[cpu.index()]));
-        Some(Program::new(EntryCause::Scheduler, ops))
+        Some(Program::new(EntryCause::Scheduler, ops, runs))
     }
 
     /// The load-balancing migration program: move vCPU `v` from CPU `from`
@@ -1697,7 +2299,7 @@ impl Hypervisor {
             return None;
         }
         use MicroOp::*;
-        let mut ops = self.take_buf(cpu);
+        let (mut ops, runs) = self.take_buf(cpu);
         ops.extend_from_slice(&[
             AssertNotInIrq,
             Acquire(self.runq_locks[from.index()]),
@@ -1712,7 +2314,7 @@ impl Hypervisor {
             Release(self.runq_locks[to.index()]),
             Release(self.runq_locks[from.index()]),
         ]);
-        Some(Program::new(EntryCause::Scheduler, ops))
+        Some(Program::new(EntryCause::Scheduler, ops, runs))
     }
 
     /// Builds (or rebuilds, on retry) the program for a vCPU's pending
@@ -1730,10 +2332,10 @@ impl Hypervisor {
                 // exit path after the result is committed is not a window
                 // in which abandonment loses the request. The op sequence
                 // is identical on every entry, so it is a static template.
-                Program::from_static(EntryCause::Syscall(vcpu), &SYSCALL_OPS)
+                Program::from_static(EntryCause::Syscall(vcpu), &SYSCALL_OPS, &SYSCALL_RUNS)
             }
             PendingKind::Hypercall(req) => {
-                let mut ops = self.take_buf(cpu);
+                let (mut ops, runs) = self.take_buf(cpu);
                 ops.push(MicroOp::AssertNotInIrq);
                 ops.push(MicroOp::Compute);
                 let logged = self.emit_request_ops(
@@ -1763,7 +2365,7 @@ impl Hypervisor {
                     ops.push(MicroOp::Release(self.runq_locks[cpu.index()]));
                 }
                 ops.push(MicroOp::CommitHypercall);
-                let mut prog = Program::new(EntryCause::Hypercall(vcpu), ops);
+                let mut prog = Program::new(EntryCause::Hypercall(vcpu), ops, runs);
                 prog.logged = logged;
                 prog
             }
@@ -1994,7 +2596,10 @@ impl Hypervisor {
                 ops.push(Release(StaticLock::Domctl.id()));
                 false
             }
-            HcRequest::Multicall(calls) => {
+            HcRequest::Multicall(_) | HcRequest::FixedMulticall(_) => {
+                let calls = req
+                    .multicall_calls()
+                    .expect("multicall variants expand to sub-calls");
                 let mut any_logged = false;
                 for (idx, c) in calls.iter().enumerate() {
                     if idx < completed_subcalls {
@@ -2234,7 +2839,7 @@ impl Hypervisor {
             MicroOp::Eoi(vec) => self.irqs.eoi(cpu, vec),
             MicroOp::IoapicWrite(vec, route) => {
                 self.irqs.ioapic_write(vec, route);
-                self.routes_dirty = true;
+                self.horizon_dirty = true;
                 if self.support.ioapic_write_log {
                     self.ioapic_log = Some(self.irqs.ioapic_snapshot());
                     log_cycles = Cycles(self.tuning.cycles_per_log_write);
@@ -2334,12 +2939,13 @@ impl Hypervisor {
         // pointer bump, far cheaper than a full micro-op.
         let is_log_op = matches!(op, MicroOp::LogUndo(_) | MicroOp::LogCompletion(_));
         let base = if is_log_op {
-            Cycles(150) + log_cycles
+            Cycles(LOG_OP_BASE_CYCLES) + log_cycles
         } else {
             Cycles(self.tuning.cycles_per_micro_op) + log_cycles
         };
         self.accounting.charge_hv(cpu, base, log_cycles);
-        self.advance(cpu, base.to_duration(self.config.cpu_freq_mhz));
+        let ns = self.op_ns(base, is_log_op as usize);
+        self.advance(cpu, SimDuration::from_nanos(ns));
 
         if self.detection.is_some() {
             return StepOutcome::Frozen;
@@ -2372,13 +2978,14 @@ impl Hypervisor {
         }
     }
 
-    /// An empty micro-op buffer for a handler builder on `cpu`: pooled when
-    /// [`Hypervisor::pooling`] is on, freshly allocated otherwise.
-    fn take_buf(&mut self, cpu: CpuId) -> Vec<MicroOp> {
+    /// An empty micro-op buffer and its paired superop-table buffer for a
+    /// handler builder on `cpu`: pooled when [`Hypervisor::pooling`] is
+    /// on, freshly allocated otherwise.
+    fn take_buf(&mut self, cpu: CpuId) -> (Vec<MicroOp>, Vec<u16>) {
         if self.pooling {
             self.pools[cpu.index()].take()
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         }
     }
 
@@ -2392,7 +2999,7 @@ impl Hypervisor {
         // Request-specific completion bookkeeping. Multicalls apply the
         // guest-side pin bookkeeping of every sub-call.
         if let PendingKind::Hypercall(req) = &pending.kind {
-            if let HcRequest::Multicall(calls) = req {
+            if let Some(calls) = req.multicall_calls() {
                 for (idx, sub) in calls.iter().enumerate() {
                     let binding = pending
                         .bindings

@@ -487,6 +487,19 @@ impl Scheduler {
         }
     }
 
+    /// Non-consuming [`Scheduler::take_resched`]: whether the resched flag
+    /// is raised for `cpu`. The superop idle window uses this to prove a
+    /// CPU's next steps stay idle without disturbing the flag.
+    pub fn peek_resched(&self, cpu: CpuId) -> bool {
+        self.resched[cpu.index()]
+    }
+
+    /// Non-consuming [`Scheduler::take_pending_migration`]: whether a
+    /// pending migration is waiting on `cpu` as its source.
+    pub fn peek_pending_migration(&self, cpu: CpuId) -> bool {
+        matches!(self.pending_migration, Some((_, from, _)) if from == cpu)
+    }
+
     /// Migration step 1 (`MicroOp::SchedMigrateEnqueue`): the vCPU joins the
     /// destination queue *before* leaving the source one — the transient
     /// double-queued window a fault can freeze, which repair must clear.

@@ -25,7 +25,7 @@
 //! abandoned handlers leave, and whether recovery copes — is mechanistic.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use nlh_hv::chaos::CorruptionKind;
 use nlh_hv::{CpuId, HandlerKind, Hypervisor, StepOutcome};
@@ -154,8 +154,8 @@ pub fn corruption_weights() -> Vec<(CorruptionKind, f64)> {
 }
 
 /// Where a fault actually landed: the handler context at the moment of
-/// injection. Captured by [`Injector::inject`] for the trial record, and
-/// the unit the campaign coverage map counts.
+/// injection. Captured by the injector at fire time for the trial record,
+/// and the unit the campaign coverage map counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectionPoint {
     /// The CPU the fault struck.
@@ -345,6 +345,46 @@ impl Injector {
     /// batched without consulting the injector.
     pub fn is_done(&self) -> bool {
         self.phase == Phase::Done
+    }
+
+    /// Whether the first-level timer has fired and the injector is counting
+    /// hypervisor micro-ops toward the second-level trigger. In this phase
+    /// a driver may hand the whole window to [`Injector::run_counting`]
+    /// instead of feeding steps one at a time.
+    pub fn is_counting(&self) -> bool {
+        matches!(self.phase, Phase::Counting(_))
+    }
+
+    /// Drives the hypervisor's batched engine through the counting window:
+    /// equivalent to stepping one micro-op at a time and feeding every step
+    /// to [`Injector::on_step`], but executed on the superop/batched path
+    /// (`Hypervisor::run_counting`), which fuses Compute runs while the
+    /// budget drains and splits the batch exactly at the fire index.
+    /// Returns `true` if the fault was injected before `deadline`;
+    /// otherwise the deadline was reached (or an organic detection froze
+    /// the machine) with the remaining budget carried over. Draws exactly
+    /// the same randomness as the per-step path (none until injection);
+    /// bit-identity is pinned by differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the injector is in the counting phase
+    /// ([`Injector::is_counting`]).
+    pub fn run_counting(&mut self, hv: &mut Hypervisor, deadline: SimTime) -> bool {
+        let left = match self.phase {
+            Phase::Counting(left) => left,
+            _ => panic!("run_counting requires the counting phase"),
+        };
+        let w = hv.run_counting(deadline, left, self.only_handler, self.depth_left);
+        self.depth_left = w.depth_left;
+        self.phase = Phase::Counting(w.left);
+        match w.fired {
+            Some(cpu) => {
+                self.inject(hv, cpu);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Feeds one simulation step to the trigger chain; call after every

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 use nlh_hv::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
-use nlh_hv::hypercalls::HcRequest;
+use nlh_hv::hypercalls::{HcRequest, MulticallShape};
 use nlh_hv::interrupts::GuestEventKind;
 use nlh_sim::{Pcg64, SimDuration, SimTime};
 
@@ -119,10 +119,7 @@ impl GuestProgram for BlkBench {
                 self.phase = Phase::Open;
                 // Some files also pin/unpin page-table pages (mmap'd I/O).
                 if self.core.rng.gen_bool(0.3) {
-                    GuestOp::Hypercall(HcRequest::Multicall(vec![
-                        HcRequest::PinPages(1),
-                        HcRequest::UnpinPages(1),
-                    ]))
+                    GuestOp::Hypercall(HcRequest::FixedMulticall(MulticallShape::PinUnpin))
                 } else {
                     GuestOp::Syscall
                 }

@@ -9,7 +9,7 @@
 //! hypervisor.
 
 use nlh_hv::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
-use nlh_hv::hypercalls::HcRequest;
+use nlh_hv::hypercalls::{HcRequest, MulticallShape};
 use nlh_sim::{Pcg64, SimDuration, SimTime};
 
 use crate::WorkloadCore;
@@ -88,13 +88,11 @@ impl GuestProgram for UnixBench {
                     GuestOp::Syscall
                 }
             }
-            // 3%: batched multicall (page-table update burst).
-            92..=94 => GuestOp::Hypercall(HcRequest::Multicall(vec![
-                HcRequest::PinPages(1),
-                HcRequest::XenVersion,
-                HcRequest::UnpinPages(1),
-                HcRequest::SetTimer,
-            ])),
+            // 3%: batched multicall (page-table update burst). The fixed
+            // shape keeps the burst allocation-free on the hot path.
+            92..=94 => GuestOp::Hypercall(HcRequest::FixedMulticall(
+                MulticallShape::PinProbeUnpinTimer,
+            )),
             // 2%: memory reservation churn.
             95..=96 => {
                 if self.reserved > 0 && self.core.rng.gen_bool(0.5) {

@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use nlh_hv::domain::{GuestNotice, GuestOp, GuestProgram, WorkloadVerdict};
-use nlh_hv::hypercalls::HcRequest;
+use nlh_hv::hypercalls::{HcRequest, MulticallShape};
 use nlh_hv::interrupts::GuestEventKind;
 use nlh_sim::{Pcg64, SimDuration, SimTime};
 use nlh_virtio::Q_RX;
@@ -118,10 +118,7 @@ impl GuestProgram for VirtioBlkBench {
                 self.files_completed += 1;
                 self.phase = Phase::Open;
                 if self.core.rng.gen_bool(0.3) {
-                    GuestOp::Hypercall(HcRequest::Multicall(vec![
-                        HcRequest::PinPages(1),
-                        HcRequest::UnpinPages(1),
-                    ]))
+                    GuestOp::Hypercall(HcRequest::FixedMulticall(MulticallShape::PinUnpin))
                 } else {
                     GuestOp::Syscall
                 }

@@ -274,7 +274,7 @@ pub mod prop {
             }
         }
 
-        /// The result of [`vec`].
+        /// The result of [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,
